@@ -1,0 +1,51 @@
+# Standard flows for the reco repository. Everything is plain `go` under
+# the hood; these targets just name the common invocations.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench verify results examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/api/ ./cmd/recoctl/ ./internal/sim/ .
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Re-check every qualitative claim of the paper against a fresh run (~30 s).
+verify:
+	$(GO) run ./cmd/recobench -verify
+
+# Regenerate the committed experiment results (~100 s).
+results:
+	$(GO) run ./cmd/recobench -exp all -parallel 2 -outdir results > results/all.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/singlecoflow
+	$(GO) run ./examples/multicoflow
+	$(GO) run ./examples/notallstop
+	$(GO) run ./examples/onlinearrivals
+	$(GO) run ./examples/scheduleservice
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,248 @@
+package reco_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"reco"
+	"reco/internal/bvn"
+	"reco/internal/core"
+	"reco/internal/experiments"
+	"reco/internal/matching"
+	"reco/internal/matrix"
+	"reco/internal/ocs"
+	"reco/internal/ordering"
+	"reco/internal/packet"
+	"reco/internal/solstice"
+	"reco/internal/workload"
+)
+
+// benchConfig is a reduced-scale experiment configuration so that each
+// table/figure regenerator completes in benchmark time; run cmd/recobench
+// for full-scale reproductions.
+var benchConfig = experiments.Config{
+	Seed:          1,
+	SingleN:       24,
+	SingleCoflows: 24,
+	MulN:          20,
+	MulCoflows:    5,
+	MulBatches:    1,
+}
+
+// benchExperiment runs one experiment regenerator per iteration.
+func benchExperiment(b *testing.B, runner experiments.Runner) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		table, err := runner(benchConfig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+// One benchmark per paper artifact (DESIGN.md §4).
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, experiments.Table1) }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, experiments.Table2) }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, experiments.Table3) }
+func BenchmarkFig4a(b *testing.B)  { benchExperiment(b, experiments.Fig4a) }
+func BenchmarkFig4b(b *testing.B)  { benchExperiment(b, experiments.Fig4b) }
+func BenchmarkFig5a(b *testing.B)  { benchExperiment(b, experiments.Fig5a) }
+func BenchmarkFig5b(b *testing.B)  { benchExperiment(b, experiments.Fig5b) }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, experiments.Fig6) }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, experiments.Fig7) }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, experiments.Fig8) }
+func BenchmarkFig9a(b *testing.B)  { benchExperiment(b, experiments.Fig9a) }
+func BenchmarkFig9b(b *testing.B)  { benchExperiment(b, experiments.Fig9b) }
+func BenchmarkThm1(b *testing.B)   { benchExperiment(b, experiments.Thm1) }
+func BenchmarkThm2(b *testing.B)   { benchExperiment(b, experiments.Thm2) }
+
+// Ablation benches: the design choices DESIGN.md §5 calls out.
+
+func BenchmarkAblationRegularization(b *testing.B) {
+	benchExperiment(b, experiments.AblationRegularization)
+}
+func BenchmarkAblationAlignment(b *testing.B) { benchExperiment(b, experiments.AblationAlignment) }
+func BenchmarkAblationBvNStrategy(b *testing.B) {
+	benchExperiment(b, experiments.AblationBvNStrategy)
+}
+func BenchmarkNotAllStop(b *testing.B) { benchExperiment(b, experiments.NotAllStop) }
+
+// Extension benches: the repository's additions beyond the paper.
+
+func BenchmarkExtSingle(b *testing.B)  { benchExperiment(b, experiments.ExtSingle) }
+func BenchmarkExtSunflow(b *testing.B) { benchExperiment(b, experiments.ExtSunflowNAS) }
+func BenchmarkExtOnline(b *testing.B)  { benchExperiment(b, experiments.ExtOnline) }
+func BenchmarkExtHybrid(b *testing.B)  { benchExperiment(b, experiments.ExtHybrid) }
+func BenchmarkExtOptics(b *testing.B)  { benchExperiment(b, experiments.ExtOptics) }
+func BenchmarkExtScale(b *testing.B)   { benchExperiment(b, experiments.ExtScale) }
+func BenchmarkExtNAS(b *testing.B)     { benchExperiment(b, experiments.ExtNAS) }
+
+// Micro-benchmarks for the scheduling primitives.
+
+func benchDemand(n int, fill float64, seed int64) *matrix.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m, _ := matrix.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < fill {
+				m.Set(i, j, 400+rng.Int63n(4000))
+			}
+		}
+	}
+	if m.IsZero() {
+		m.Set(0, 0, 400)
+	}
+	return m
+}
+
+func BenchmarkRecoSin(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		d := benchDemand(n, 0.5, 7)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RecoSin(d, 100); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolstice(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		d := benchDemand(n, 0.5, 7)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := solstice.Schedule(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBvNMaxMin(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		d := matrix.Stuff(benchDemand(n, 0.5, 7))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bvn.Decompose(d, bvn.MaxMin); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBottleneckMatching(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		d := matrix.Stuff(benchDemand(n, 0.5, 7))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := matching.BottleneckPerfect(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHungarian(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		d := benchDemand(n, 1.0, 7)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matching.MaxWeightPerfect(d)
+			}
+		})
+	}
+}
+
+func benchCoflows(b *testing.B, n, k int) []*matrix.Matrix {
+	b.Helper()
+	coflows, err := workload.Generate(workload.GenConfig{
+		N: n, NumCoflows: k, Seed: 11, MinDemand: 400, MeanDemand: 400,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := make([]*matrix.Matrix, len(coflows))
+	for i, c := range coflows {
+		ds[i] = c.Demand
+	}
+	return ds
+}
+
+func BenchmarkRecoMulPipeline(b *testing.B) {
+	for _, k := range []int{8, 16, 32} {
+		ds := benchCoflows(b, 32, k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ScheduleMul(ds, nil, 100, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLPIIOrdering(b *testing.B) {
+	for _, k := range []int{8, 16} {
+		ds := benchCoflows(b, 24, k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ordering.LPII(ds, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPrimalDualOrdering(b *testing.B) {
+	ds := benchCoflows(b, 48, 64)
+	for i := 0; i < b.N; i++ {
+		if _, err := ordering.PrimalDual(ds, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketListSchedule(b *testing.B) {
+	ds := benchCoflows(b, 48, 32)
+	order := make([]int, len(ds))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := packet.ListSchedule(ds, order); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecAllStop(b *testing.B) {
+	d := benchDemand(64, 0.5, 7)
+	cs, err := core.RecoSin(d, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := ocs.ExecAllStop(d, cs, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := reco.GenerateWorkload(150, 526, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Command recobench regenerates the paper's tables and figures (and this
+// repository's ablations) from the experiment harness.
+//
+// Usage:
+//
+//	recobench -exp fig4a            # one experiment
+//	recobench -exp all              # everything, in presentation order
+//	recobench -exp fig6 -csv        # machine-readable output
+//	recobench -list                 # available experiment ids
+//
+// Scale knobs (-n, -coflows, -muln, -mulcoflows, -batches, -delta, -c,
+// -seed) map directly onto experiments.Config; see DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for recorded paper-vs-measured runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"reco/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		exp        = flag.String("exp", "all", "experiment id, or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		delta      = flag.Int64("delta", 0, "reconfiguration delay in ticks (default 100)")
+		c          = flag.Int64("c", 0, "optical transmission threshold (default 4)")
+		singleN    = flag.Int("n", 0, "fabric ports for single-coflow experiments (default 60)")
+		singleK    = flag.Int("coflows", 0, "workload size for single-coflow experiments (default 120)")
+		mulN       = flag.Int("muln", 0, "fabric ports for multi-coflow experiments (default 24)")
+		mulK       = flag.Int("mulcoflows", 0, "coflows per multi-coflow batch (default 20)")
+		mulBatches = flag.Int("batches", 0, "batches per multi-coflow data point (default 3)")
+		timing     = flag.Bool("time", false, "print wall-clock time per experiment")
+		parallel   = flag.Int("parallel", 1, "experiments to run concurrently (output order is preserved)")
+		outDir     = flag.String("outdir", "", "also write each experiment's CSV to <outdir>/<id>.csv")
+		verify     = flag.Bool("verify", false, "verify the paper's qualitative shapes and exit")
+	)
+	flag.Parse()
+
+	registry := experiments.Registry()
+	if *verify {
+		cfg := experiments.Config{
+			Seed: *seed, Delta: *delta, C: *c,
+			SingleN: *singleN, SingleCoflows: *singleK,
+			MulN: *mulN, MulCoflows: *mulK, MulBatches: *mulBatches,
+		}
+		errs := experiments.VerifyShapes(cfg)
+		for _, err := range errs {
+			fmt.Fprintf(os.Stderr, "recobench: shape violated: %v\n", err)
+		}
+		if len(errs) > 0 {
+			return 1
+		}
+		fmt.Println("all paper shapes hold")
+		return 0
+	}
+	if *list {
+		ids := make([]string, 0, len(registry))
+		for id := range registry {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return 0
+	}
+
+	cfg := experiments.Config{
+		Seed:          *seed,
+		Delta:         *delta,
+		C:             *c,
+		SingleN:       *singleN,
+		SingleCoflows: *singleK,
+		MulN:          *mulN,
+		MulCoflows:    *mulK,
+		MulBatches:    *mulBatches,
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = experiments.Order()
+	} else {
+		if _, ok := registry[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "recobench: unknown experiment %q (use -list)\n", *exp)
+			return 2
+		}
+		ids = []string{*exp}
+	}
+
+	type outcome struct {
+		table   *experiments.Table
+		err     error
+		elapsed time.Duration
+	}
+	results := make([]outcome, len(ids))
+
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				start := time.Now()
+				table, err := registry[ids[i]](cfg)
+				results[i] = outcome{table: table, err: err, elapsed: time.Since(start)}
+			}
+		}()
+	}
+	for i := range ids {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "recobench: %v\n", err)
+			return 1
+		}
+	}
+	for i, id := range ids {
+		res := results[i]
+		if res.err != nil {
+			fmt.Fprintf(os.Stderr, "recobench: %s: %v\n", id, res.err)
+			return 1
+		}
+		if *csv {
+			fmt.Print(res.table.CSV())
+		} else {
+			fmt.Print(res.table.String())
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, id+".csv")
+			if err := os.WriteFile(path, []byte(res.table.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "recobench: writing %s: %v\n", path, err)
+				return 1
+			}
+		}
+		if *timing {
+			fmt.Printf("(%s took %v)\n", id, res.elapsed.Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+	return 0
+}

@@ -1,0 +1,169 @@
+// Command recoctl is the command-line client for a recod scheduling
+// service.
+//
+//	recoctl -server http://127.0.0.1:8372 health
+//	recoctl single -demand demand.json -delta 100
+//	recoctl multi  -demands demands.json -delta 100 -c 4
+//	recoctl workload -n 40 -coflows 20 -seed 1 > demands.json
+//
+// demand.json holds a JSON array of rows ([[...int64]]); demands.json holds
+// an array of such matrices. `workload` emits demands.json-compatible
+// output, so the three subcommands compose:
+//
+//	recoctl workload -n 24 -coflows 8 | recoctl multi -demands - -delta 100 -c 4
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"reco/internal/api"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	global := flag.NewFlagSet("recoctl", flag.ContinueOnError)
+	global.SetOutput(stderr)
+	server := global.String("server", "http://127.0.0.1:8372", "recod base URL")
+	timeout := global.Duration("timeout", 30*time.Second, "request timeout")
+	if err := global.Parse(args); err != nil {
+		return 2
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		fmt.Fprintln(stderr, "recoctl: subcommand required: health, single, multi, workload")
+		return 2
+	}
+	client := api.NewClient(*server, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var err error
+	switch rest[0] {
+	case "health":
+		err = client.Healthz(ctx)
+		if err == nil {
+			fmt.Fprintln(stdout, "ok")
+		}
+	case "single":
+		err = runSingle(ctx, client, rest[1:], stdin, stdout, stderr)
+	case "multi":
+		err = runMulti(ctx, client, rest[1:], stdin, stdout, stderr)
+	case "workload":
+		err = runWorkload(ctx, client, rest[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "recoctl: unknown subcommand %q\n", rest[0])
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "recoctl: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func runSingle(ctx context.Context, client *api.Client, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("single", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	demandPath := fs.String("demand", "-", "path to the demand matrix JSON ('-' for stdin)")
+	delta := fs.Int64("delta", 100, "reconfiguration delay in ticks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var demand [][]int64
+	if err := readJSONInput(*demandPath, stdin, &demand); err != nil {
+		return err
+	}
+	resp, err := client.ScheduleSingle(ctx, api.SingleRequest{Demand: demand, Delta: *delta})
+	if err != nil {
+		return err
+	}
+	return writeJSON(stdout, resp)
+}
+
+func runMulti(ctx context.Context, client *api.Client, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("multi", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	demandsPath := fs.String("demands", "-", "path to the demand matrices JSON ('-' for stdin)")
+	delta := fs.Int64("delta", 100, "reconfiguration delay in ticks")
+	c := fs.Int64("c", 4, "optical transmission threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var payload struct {
+		Demands [][][]int64 `json:"demands"`
+	}
+	// Accept either a bare array of matrices or a {"demands": ...} wrapper
+	// (the shape `recoctl workload` emits).
+	raw, err := readInput(*demandsPath, stdin)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil || payload.Demands == nil {
+		if err2 := json.Unmarshal(raw, &payload.Demands); err2 != nil {
+			return fmt.Errorf("decoding demands: %w", err2)
+		}
+	}
+	resp, err := client.ScheduleMulti(ctx, api.MultiRequest{Demands: payload.Demands, Delta: *delta, C: *c})
+	if err != nil {
+		return err
+	}
+	// Flow lists are large; report the summary.
+	summary := struct {
+		CCTs      []int64 `json:"ccts"`
+		Reconfigs int     `json:"reconfigs"`
+		Flows     int     `json:"flows"`
+	}{resp.CCTs, resp.Reconfigs, len(resp.Flows)}
+	return writeJSON(stdout, summary)
+}
+
+func runWorkload(ctx context.Context, client *api.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("workload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 40, "fabric ports")
+	coflows := fs.Int("coflows", 20, "number of coflows")
+	seed := fs.Int64("seed", 1, "generator seed")
+	minDemand := fs.Int64("min", 400, "minimum flow demand in ticks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := client.GenerateWorkload(ctx, api.WorkloadRequest{
+		N: *n, NumCoflows: *coflows, Seed: *seed, MinDemand: *minDemand,
+	})
+	if err != nil {
+		return err
+	}
+	return writeJSON(stdout, resp)
+}
+
+func readInput(path string, stdin io.Reader) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func readJSONInput(path string, stdin io.Reader, dst interface{}) error {
+	raw, err := readInput(path, stdin)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, dst); err != nil {
+		return fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return nil
+}
+
+func writeJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"reco/internal/api"
+)
+
+func newServer(t *testing.T) string {
+	t.Helper()
+	srv := httptest.NewServer(api.NewHandler())
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func TestHealthSubcommand(t *testing.T) {
+	url := newServer(t)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-server", url, "health"}, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("output: %q", out.String())
+	}
+}
+
+func TestSingleSubcommandFromStdin(t *testing.T) {
+	url := newServer(t)
+	stdin := strings.NewReader(`[[104,109,102],[103,105,107],[108,101,106]]`)
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-server", url, "single", "-demand", "-", "-delta", "100"}, stdin, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	var resp api.SingleResponse
+	if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding output: %v", err)
+	}
+	if resp.CCT != 618 {
+		t.Errorf("CCT = %d, want 618", resp.CCT)
+	}
+}
+
+func TestWorkloadPipesIntoMulti(t *testing.T) {
+	url := newServer(t)
+	var wl, errBuf bytes.Buffer
+	code := run([]string{"-server", url, "workload", "-n", "10", "-coflows", "4", "-seed", "2"}, nil, &wl, &errBuf)
+	if code != 0 {
+		t.Fatalf("workload exit %d, stderr: %s", code, errBuf.String())
+	}
+	var out bytes.Buffer
+	errBuf.Reset()
+	code = run([]string{"-server", url, "multi", "-demands", "-", "-delta", "100", "-c", "4"},
+		bytes.NewReader(wl.Bytes()), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("multi exit %d, stderr: %s", code, errBuf.String())
+	}
+	var summary struct {
+		CCTs      []int64 `json:"ccts"`
+		Reconfigs int     `json:"reconfigs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &summary); err != nil {
+		t.Fatalf("decoding output: %v", err)
+	}
+	if len(summary.CCTs) != 4 || summary.Reconfigs <= 0 {
+		t.Errorf("summary: %+v", summary)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	url := newServer(t)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-server", url}, nil, &out, &errBuf); code != 2 {
+		t.Errorf("missing subcommand: exit %d", code)
+	}
+	if code := run([]string{"-server", url, "bogus"}, nil, &out, &errBuf); code != 2 {
+		t.Errorf("unknown subcommand: exit %d", code)
+	}
+	if code := run([]string{"-server", url, "single", "-demand", "-"}, strings.NewReader("{"), &out, &errBuf); code != 1 {
+		t.Errorf("malformed demand: exit %d", code)
+	}
+	if code := run([]string{"-server", url, "single", "-demand", "/nonexistent.json"}, nil, &out, &errBuf); code != 1 {
+		t.Errorf("missing file: exit %d", code)
+	}
+	if code := run([]string{"-server", "http://127.0.0.1:1", "health"}, nil, &out, &errBuf); code != 1 {
+		t.Errorf("dead server: exit %d", code)
+	}
+}

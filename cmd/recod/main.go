@@ -1,0 +1,95 @@
+// Command recod runs the coflow-scheduling service: a JSON-over-HTTP API
+// (see internal/api) that turns demand matrices into OCS circuit schedules.
+//
+//	recod -addr 127.0.0.1:8372
+//
+// Endpoints:
+//
+//	GET  /v1/healthz
+//	POST /v1/schedule/single     {"demand": [[...]], "delta": 100}
+//	POST /v1/schedule/multi      {"demands": [...], "weights": [...], "delta": 100, "c": 4}
+//	POST /v1/workload/generate   {"n": 40, "numCoflows": 20, "seed": 1}
+//
+// The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to the -drain timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"reco/internal/api"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:8372", "listen address")
+		drain = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "recod: ", log.LstdFlags)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(logger, api.NewInstrumentedHandler()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on http://%s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("serve: %v", err)
+			return 1
+		}
+	case sig := <-sigCh:
+		logger.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// logRequests is minimal access logging middleware.
+func logRequests(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		logger.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status for the access log.
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}

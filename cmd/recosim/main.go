@@ -1,0 +1,197 @@
+// Command recosim runs one scheduling algorithm over a coflow workload and
+// reports per-coflow completion times and switch metrics.
+//
+// The workload comes from a coflow-benchmark trace file (-trace) or from the
+// built-in synthetic generator (-n, -coflows, -seed). Algorithms:
+//
+//	reco-sin        Reco-Sin per coflow, coflows served back-to-back
+//	reco-mul        the full Reco-Mul pipeline (default)
+//	solstice        Solstice per coflow, back-to-back
+//	sebf-solstice   SEBF order + Solstice per coflow
+//	lp-ii-gb        LP-estimate order + first-fit BvN per coflow
+//	lp-ii-gb-group  grouped LP-II-GB (aggregated per-interval schedules)
+//
+// Example:
+//
+//	recosim -alg reco-mul -n 40 -coflows 20 -delta 100 -c 4 -percoflow
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"reco/internal/core"
+	"reco/internal/gantt"
+	"reco/internal/lpiigb"
+	"reco/internal/matrix"
+	"reco/internal/ocs"
+	"reco/internal/ordering"
+	"reco/internal/schedule"
+	"reco/internal/solstice"
+	"reco/internal/stats"
+	"reco/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		alg        = flag.String("alg", "reco-mul", "algorithm: reco-sin, reco-mul, solstice, sebf-solstice, lp-ii-gb, lp-ii-gb-group")
+		trace      = flag.String("trace", "", "coflow-benchmark trace file (empty: synthetic workload)")
+		n          = flag.Int("n", 40, "fabric ports for the synthetic workload")
+		numCf      = flag.Int("coflows", 20, "synthetic workload size")
+		seed       = flag.Int64("seed", 1, "synthetic workload seed")
+		delta      = flag.Int64("delta", 100, "reconfiguration delay in ticks")
+		c          = flag.Int64("c", 4, "optical transmission threshold")
+		rescale    = flag.Int("rescale", 0, "fold the workload onto this many ports (0: keep)")
+		perCoflow  = flag.Bool("percoflow", false, "print each coflow's CCT")
+		showGantt  = flag.Bool("gantt", false, "render the schedule as an ASCII Gantt chart")
+		ganttWidth = flag.Int("ganttwidth", 100, "gantt chart width in columns")
+	)
+	flag.Parse()
+
+	coflows, err := loadWorkload(*trace, *n, *numCf, *seed, *c**delta)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
+		return 1
+	}
+	if *rescale > 0 {
+		if coflows, err = workload.Rescale(coflows, *rescale); err != nil {
+			fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
+			return 1
+		}
+	}
+	ds := make([]*matrix.Matrix, len(coflows))
+	w := make([]float64, len(coflows))
+	for i, cf := range coflows {
+		ds[i] = cf.Demand
+		w[i] = cf.Weight
+	}
+
+	ccts, reconfigs, flows, err := schedul(*alg, ds, w, *delta, *c)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
+		return 1
+	}
+
+	vals := stats.Int64s(ccts)
+	mean, err := stats.Mean(vals)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
+		return 1
+	}
+	p95, _ := stats.Percentile(vals, 95)
+	fmt.Printf("algorithm      %s\n", *alg)
+	fmt.Printf("coflows        %d on %d ports\n", len(ds), ds[0].N())
+	fmt.Printf("delta, c       %d ticks, %d\n", *delta, *c)
+	fmt.Printf("reconfigs      %d\n", reconfigs)
+	fmt.Printf("avg CCT        %.0f ticks\n", mean)
+	fmt.Printf("95p CCT        %.0f ticks\n", p95)
+	fmt.Printf("weighted CCT   %.0f\n", schedule.TotalWeighted(ccts, w))
+	if *perCoflow {
+		idx := make([]int, len(ccts))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return ccts[idx[a]] < ccts[idx[b]] })
+		for _, k := range idx {
+			fmt.Printf("  coflow %3d  %-7s %9d ticks\n", k, workload.Classify(ds[k]), ccts[k])
+		}
+	}
+	if *showGantt {
+		chart, err := gantt.RenderFlows(flows, ds[0].N(), *ganttWidth)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recosim: gantt: %v\n", err)
+			return 1
+		}
+		fmt.Print(chart)
+		fmt.Print(gantt.Legend(flows))
+	}
+	return 0
+}
+
+func loadWorkload(trace string, n, numCf int, seed, minDemand int64) ([]workload.Coflow, error) {
+	if trace == "" {
+		return workload.Generate(workload.GenConfig{
+			N: n, NumCoflows: numCf, Seed: seed, MinDemand: minDemand, MeanDemand: minDemand,
+		})
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.ParseTrace(f, workload.DefaultTicksPerMB)
+}
+
+func schedul(alg string, ds []*matrix.Matrix, w []float64, delta, c int64) ([]int64, int, schedule.FlowSchedule, error) {
+	switch alg {
+	case "reco-mul":
+		res, err := core.ScheduleMul(ds, w, delta, c)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		return res.CCTs, res.Reconfigs, res.Flows, nil
+	case "reco-sin", "solstice":
+		schedules := make([]ocs.CircuitSchedule, len(ds))
+		for k, d := range ds {
+			var cs ocs.CircuitSchedule
+			var err error
+			if alg == "reco-sin" {
+				cs, err = core.RecoSin(d, delta)
+			} else {
+				cs, err = solstice.Schedule(d)
+			}
+			if err != nil {
+				return nil, 0, nil, fmt.Errorf("coflow %d: %w", k, err)
+			}
+			schedules[k] = cs
+		}
+		order := identity(len(ds))
+		seq, err := ocs.ExecSequential(ds, schedules, order, delta)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		return seq.CCTs, seq.Reconfigs, seq.Flows, nil
+	case "sebf-solstice":
+		schedules := make([]ocs.CircuitSchedule, len(ds))
+		for k, d := range ds {
+			cs, err := solstice.Schedule(d)
+			if err != nil {
+				return nil, 0, nil, fmt.Errorf("coflow %d: %w", k, err)
+			}
+			schedules[k] = cs
+		}
+		seq, err := ocs.ExecSequential(ds, schedules, ordering.SEBF(ds), delta)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		return seq.CCTs, seq.Reconfigs, seq.Flows, nil
+	case "lp-ii-gb":
+		res, err := lpiigb.ScheduleSequential(ds, w, delta)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		return res.CCTs, res.Reconfigs, res.Flows, nil
+	case "lp-ii-gb-group":
+		res, err := lpiigb.Schedule(ds, w, delta)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		return res.CCTs, res.Reconfigs, res.Flows, nil
+	default:
+		return nil, 0, nil, fmt.Errorf("unknown algorithm %q", alg)
+	}
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+// Command recotrace generates and inspects coflow workloads.
+//
+// Generate a synthetic Facebook-like workload and write it in the portable
+// coflow-benchmark format:
+//
+//	recotrace -gen -n 150 -coflows 526 -seed 1 -out trace.txt
+//
+// Inspect a workload (synthetic or from a trace file): the density and
+// transmission-mode statistics of Tables I and II plus per-class counts.
+//
+//	recotrace -stats -trace trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reco/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		gen     = flag.Bool("gen", false, "generate a synthetic workload")
+		stats   = flag.Bool("stats", false, "print workload statistics")
+		trace   = flag.String("trace", "", "trace file to read (with -stats) ")
+		out     = flag.String("out", "", "file to write (with -gen); default stdout")
+		n       = flag.Int("n", 150, "fabric ports")
+		numCf   = flag.Int("coflows", 526, "number of coflows")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		minDem  = flag.Int64("min", 400, "minimum flow demand in ticks (c*delta)")
+		rescale = flag.Int("rescale", 0, "fold the workload onto this many ports (0: keep)")
+	)
+	flag.Parse()
+
+	if !*gen && !*stats {
+		fmt.Fprintln(os.Stderr, "recotrace: pass -gen and/or -stats")
+		return 2
+	}
+
+	var coflows []workload.Coflow
+	var err error
+	if *trace != "" {
+		f, ferr := os.Open(*trace)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "recotrace: %v\n", ferr)
+			return 1
+		}
+		coflows, err = workload.ParseTrace(f, workload.DefaultTicksPerMB)
+		f.Close()
+	} else {
+		coflows, err = workload.Generate(workload.GenConfig{
+			N: *n, NumCoflows: *numCf, Seed: *seed, MinDemand: *minDem,
+		})
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recotrace: %v\n", err)
+		return 1
+	}
+	if *rescale > 0 {
+		if coflows, err = workload.Rescale(coflows, *rescale); err != nil {
+			fmt.Fprintf(os.Stderr, "recotrace: %v\n", err)
+			return 1
+		}
+	}
+
+	if *gen {
+		w := os.Stdout
+		if *out != "" {
+			f, ferr := os.Create(*out)
+			if ferr != nil {
+				fmt.Fprintf(os.Stderr, "recotrace: %v\n", ferr)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		fabric := *n
+		if len(coflows) > 0 {
+			fabric = coflows[0].Demand.N()
+		}
+		if err := workload.WriteTrace(w, coflows, fabric, workload.DefaultTicksPerMB); err != nil {
+			fmt.Fprintf(os.Stderr, "recotrace: %v\n", err)
+			return 1
+		}
+	}
+	if *stats {
+		fmt.Print(workload.Summarize(coflows).String())
+	}
+	return 0
+}

@@ -1,0 +1,87 @@
+package reco_test
+
+import (
+	"fmt"
+	"log"
+
+	"reco"
+)
+
+// ExampleScheduleSingle schedules the paper's Fig. 2 demand matrix with
+// Reco-Sin.
+func ExampleScheduleSingle() {
+	demand, err := reco.DemandFromRows([][]int64{
+		{104, 109, 102},
+		{103, 105, 107},
+		{108, 101, 106},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := reco.ScheduleSingle(demand, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("establishments=%d cct=%d lowerBound=%d\n",
+		len(res.Schedule), res.CCT, res.LowerBound)
+	// Output: establishments=3 cct=618 lowerBound=615
+}
+
+// ExampleScheduleMultiple schedules two port-disjoint coflows together;
+// Reco-Mul runs them concurrently through one reconfiguration alignment.
+func ExampleScheduleMultiple() {
+	a, err := reco.DemandFromRows([][]int64{
+		{400, 0},
+		{0, 400},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := reco.DemandFromRows([][]int64{
+		{0, 400},
+		{400, 0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := reco.ScheduleMultiple([]*reco.Demand{a, b}, nil, 100, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coflows=%d reconfigs=%d\n", len(res.CCTs), res.Reconfigs)
+	// Output: coflows=2 reconfigs=2
+}
+
+// ExampleRegularize rounds demands up to the reconfiguration-delay grid.
+func ExampleRegularize() {
+	d, err := reco.DemandFromRows([][]int64{
+		{104, 0},
+		{0, 250},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := reco.Regularize(d, 100)
+	fmt.Println(reg.At(0, 0), reg.At(1, 1))
+	// Output: 200 300
+}
+
+// ExampleApproximationRatio evaluates Theorem 3's guarantee for the
+// Shafiee–Ghaderi packet scheduler (Δ = 4) at c = 4.
+func ExampleApproximationRatio() {
+	fmt.Println(reco.ApproximationRatio(4, 4))
+	// Output: 9
+}
+
+// ExampleLowerBound computes the single-coflow bound ρ + τ·δ.
+func ExampleLowerBound() {
+	d, err := reco.DemandFromRows([][]int64{
+		{500, 300},
+		{0, 200},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(reco.LowerBound(d, 100)) // rho=800, tau=2
+	// Output: 1000
+}

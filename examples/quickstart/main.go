@@ -1,0 +1,42 @@
+// Quickstart: schedule one coflow with Reco-Sin and inspect the result.
+//
+// The demand matrix is the running example of the paper's Fig. 2 on a 3×3
+// switch with a 100-tick reconfiguration delay: regularization turns a
+// 5-establishment BvN schedule (completion 815) into a 3-establishment one
+// that completes in 618 ticks.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reco"
+)
+
+func main() {
+	demand, err := reco.DemandFromRows([][]int64{
+		{104, 109, 102},
+		{103, 105, 107},
+		{108, 101, 106},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const delta = 100 // reconfiguration delay in ticks (1 tick = 1 µs)
+	res, err := reco.ScheduleSingle(demand, delta)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Reco-Sin on the Fig. 2 demand matrix")
+	fmt.Printf("  circuit establishments: %d\n", len(res.Schedule))
+	for i, a := range res.Schedule {
+		fmt.Printf("    #%d ingress->egress %v for up to %d ticks\n", i+1, a.Perm, a.Dur)
+	}
+	fmt.Printf("  reconfigurations:  %d\n", res.Reconfigs)
+	fmt.Printf("  completion time:   %d ticks\n", res.CCT)
+	fmt.Printf("  lower bound:       %d ticks (CCT is within 2x, Theorem 2)\n", res.LowerBound)
+}

@@ -1,0 +1,3 @@
+module reco
+
+go 1.22

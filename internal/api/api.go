@@ -1,0 +1,249 @@
+// Package api exposes the library as a network service: a JSON-over-HTTP
+// scheduling API that a datacenter controller can call to turn coflow
+// demand matrices into OCS circuit schedules, plus the matching Go client.
+// cmd/recod wraps the server with lifecycle management.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"reco/internal/core"
+	"reco/internal/matrix"
+	"reco/internal/ocs"
+	"reco/internal/schedule"
+	"reco/internal/workload"
+)
+
+// maxBodyBytes caps request bodies; a 512-port fabric's matrix in JSON is
+// well within this.
+const maxBodyBytes = 64 << 20
+
+// SingleRequest asks for a Reco-Sin schedule of one coflow.
+type SingleRequest struct {
+	// Demand is the square demand matrix in ticks.
+	Demand [][]int64 `json:"demand"`
+	// Delta is the reconfiguration delay in ticks.
+	Delta int64 `json:"delta"`
+}
+
+// Assignment mirrors ocs.Assignment for the wire.
+type Assignment struct {
+	Perm []int `json:"perm"`
+	Dur  int64 `json:"dur"`
+}
+
+// SingleResponse is the scheduled outcome of one coflow.
+type SingleResponse struct {
+	Schedule   []Assignment `json:"schedule"`
+	CCT        int64        `json:"cct"`
+	Reconfigs  int          `json:"reconfigs"`
+	LowerBound int64        `json:"lowerBound"`
+}
+
+// MultiRequest asks for a Reco-Mul schedule of a coflow batch.
+type MultiRequest struct {
+	Demands [][][]int64 `json:"demands"`
+	Weights []float64   `json:"weights,omitempty"`
+	Delta   int64       `json:"delta"`
+	C       int64       `json:"c"`
+}
+
+// Flow mirrors schedule.FlowInterval for the wire.
+type Flow struct {
+	Start  int64 `json:"start"`
+	End    int64 `json:"end"`
+	Gap    int64 `json:"gap,omitempty"`
+	In     int   `json:"in"`
+	Out    int   `json:"out"`
+	Coflow int   `json:"coflow"`
+}
+
+// MultiResponse is the scheduled outcome of a batch.
+type MultiResponse struct {
+	Flows     []Flow  `json:"flows"`
+	CCTs      []int64 `json:"ccts"`
+	Reconfigs int     `json:"reconfigs"`
+}
+
+// WorkloadRequest asks for a synthetic workload.
+type WorkloadRequest struct {
+	N          int   `json:"n"`
+	NumCoflows int   `json:"numCoflows"`
+	Seed       int64 `json:"seed"`
+	MinDemand  int64 `json:"minDemand,omitempty"`
+}
+
+// WorkloadResponse carries the generated demand matrices.
+type WorkloadResponse struct {
+	Demands [][][]int64 `json:"demands"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler returns the API's HTTP handler:
+//
+//	GET  /v1/healthz
+//	POST /v1/schedule/single
+//	POST /v1/schedule/multi
+//	POST /v1/workload/generate
+func NewHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", handleHealthz)
+	mux.HandleFunc("/v1/schedule/single", handleSingle)
+	mux.HandleFunc("/v1/schedule/multi", handleMulti)
+	mux.HandleFunc("/v1/workload/generate", handleWorkload)
+	return mux
+}
+
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func handleSingle(w http.ResponseWriter, r *http.Request) {
+	var req SingleRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	d, err := matrix.FromRows(req.Demand)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("demand: %v", err))
+		return
+	}
+	cs, err := core.RecoSin(d, req.Delta)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	exec, err := ocs.ExecAllStop(d, cs, req.Delta)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := SingleResponse{
+		Schedule:   make([]Assignment, len(cs)),
+		CCT:        exec.CCT,
+		Reconfigs:  exec.Reconfigs,
+		LowerBound: ocs.LowerBound(d, req.Delta),
+	}
+	for i, a := range cs {
+		resp.Schedule[i] = Assignment{Perm: a.Perm, Dur: a.Dur}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handleMulti(w http.ResponseWriter, r *http.Request) {
+	var req MultiRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Demands) == 0 {
+		writeError(w, http.StatusBadRequest, "no demand matrices")
+		return
+	}
+	ds := make([]*matrix.Matrix, len(req.Demands))
+	for k, rows := range req.Demands {
+		d, err := matrix.FromRows(rows)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("demand %d: %v", k, err))
+			return
+		}
+		ds[k] = d
+	}
+	res, err := core.ScheduleMul(ds, req.Weights, req.Delta, req.C)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	resp := MultiResponse{
+		Flows:     flowsToWire(res.Flows),
+		CCTs:      res.CCTs,
+		Reconfigs: res.Reconfigs,
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handleWorkload(w http.ResponseWriter, r *http.Request) {
+	var req WorkloadRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	coflows, err := workload.Generate(workload.GenConfig{
+		N: req.N, NumCoflows: req.NumCoflows, Seed: req.Seed,
+		MinDemand: req.MinDemand, MeanDemand: req.MinDemand,
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	resp := WorkloadResponse{Demands: make([][][]int64, len(coflows))}
+	for k, c := range coflows {
+		n := c.Demand.N()
+		rows := make([][]int64, n)
+		for i := 0; i < n; i++ {
+			rows[i] = make([]int64, n)
+			for j := 0; j < n; j++ {
+				rows[i][j] = c.Demand.At(i, j)
+			}
+		}
+		resp.Demands[k] = rows
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// readJSON decodes a POST body into dst, writing the error response itself
+// on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return false
+	}
+	return true
+}
+
+// statusFor maps library validation errors to 400 and everything else to
+// 500.
+func statusFor(err error) int {
+	if errors.Is(err, core.ErrBadParam) ||
+		errors.Is(err, matrix.ErrDimension) ||
+		errors.Is(err, matrix.ErrNegative) ||
+		errors.Is(err, workload.ErrBadConfig) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding failures after the header is out can only be logged by the
+	// caller's middleware; the payloads here are all marshalable types.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+func flowsToWire(fs schedule.FlowSchedule) []Flow {
+	out := make([]Flow, len(fs))
+	for i, f := range fs {
+		out[i] = Flow{Start: f.Start, End: f.End, Gap: f.Gap, In: f.In, Out: f.Out, Coflow: f.Coflow}
+	}
+	return out
+}

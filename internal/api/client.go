@@ -1,0 +1,104 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a recod scheduling service.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8372"). A nil httpClient uses http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// Healthz checks service liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("api: building request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("api: healthz: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("api: healthz status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// ScheduleSingle requests a Reco-Sin schedule for one coflow.
+func (c *Client) ScheduleSingle(ctx context.Context, req SingleRequest) (*SingleResponse, error) {
+	var resp SingleResponse
+	if err := c.post(ctx, "/v1/schedule/single", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ScheduleMulti requests a Reco-Mul schedule for a coflow batch.
+func (c *Client) ScheduleMulti(ctx context.Context, req MultiRequest) (*MultiResponse, error) {
+	var resp MultiResponse
+	if err := c.post(ctx, "/v1/schedule/multi", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// GenerateWorkload requests a synthetic workload.
+func (c *Client) GenerateWorkload(ctx context.Context, req WorkloadRequest) (*WorkloadResponse, error) {
+	var resp WorkloadResponse
+	if err := c.post(ctx, "/v1/workload/generate", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("api: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("api: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("api: %s: %w", path, err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		var apiErr errorResponse
+		if decodeErr := json.NewDecoder(resp.Body).Decode(&apiErr); decodeErr == nil && apiErr.Error != "" {
+			return fmt.Errorf("api: %s: status %d: %s", path, resp.StatusCode, apiErr.Error)
+		}
+		return fmt.Errorf("api: %s: status %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("api: decoding response: %w", err)
+	}
+	return nil
+}
+
+// drain discards the rest of the body so the connection can be reused.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+}

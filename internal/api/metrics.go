@@ -1,0 +1,107 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Metrics collects per-endpoint request counts and latency totals. The zero
+// value is ready to use; it is safe for concurrent use.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]*endpointStats
+}
+
+type endpointStats struct {
+	count    int64
+	errors   int64
+	totalDur time.Duration
+	maxDur   time.Duration
+}
+
+// Middleware wraps next, recording a sample per request keyed by
+// "METHOD path".
+func (m *Metrics) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &metricsRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		m.observe(r.Method+" "+r.URL.Path, time.Since(start), rec.status >= 400)
+	})
+}
+
+func (m *Metrics) observe(key string, dur time.Duration, isError bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.requests == nil {
+		m.requests = make(map[string]*endpointStats)
+	}
+	s := m.requests[key]
+	if s == nil {
+		s = &endpointStats{}
+		m.requests[key] = s
+	}
+	s.count++
+	if isError {
+		s.errors++
+	}
+	s.totalDur += dur
+	if dur > s.maxDur {
+		s.maxDur = dur
+	}
+}
+
+// Handler serves the collected metrics as plain text, one endpoint per
+// line: key, count, errors, mean and max latency.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		m.mu.Lock()
+		keys := make([]string, 0, len(m.requests))
+		for k := range m.requests {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			s := m.requests[k]
+			mean := time.Duration(0)
+			if s.count > 0 {
+				mean = s.totalDur / time.Duration(s.count)
+			}
+			fmt.Fprintf(&b, "%-40s count=%d errors=%d mean=%s max=%s\n",
+				k, s.count, s.errors, mean.Round(time.Microsecond), s.maxDur.Round(time.Microsecond))
+		}
+		m.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+type metricsRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status code for error accounting.
+func (r *metricsRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// NewInstrumentedHandler returns the API handler wrapped with metrics
+// collection and a /v1/metrics endpoint exposing it.
+func NewInstrumentedHandler() http.Handler {
+	m := &Metrics{}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/metrics", m.Handler())
+	mux.Handle("/", m.Middleware(NewHandler()))
+	return mux
+}

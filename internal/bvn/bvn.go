@@ -1,0 +1,118 @@
+// Package bvn implements Birkhoff–von Neumann decomposition of (generalized)
+// doubly stochastic demand matrices into permutation matrices with integer
+// coefficients.
+//
+// Two extraction strategies are provided. MaxMin follows the paper (and
+// Solstice [7]): each step extracts the perfect matching whose minimum entry
+// is maximized, which empirically yields few large terms. FirstFit extracts
+// an arbitrary perfect matching of the positive support each step; it is the
+// "primitive BvN" whose Ω(N) pathology Theorem 1 exhibits, and is what the
+// LP-II-GB baseline uses for its per-group schedules.
+package bvn
+
+import (
+	"errors"
+	"fmt"
+
+	"reco/internal/matching"
+	"reco/internal/matrix"
+)
+
+// ErrNotDoublyStochastic reports that the input matrix's row and column sums
+// are not all equal, so no Birkhoff decomposition exists.
+var ErrNotDoublyStochastic = errors.New("bvn: matrix is not doubly stochastic")
+
+// Term is one element of a decomposition: a permutation with an integer
+// coefficient. Perm[i] is the column matched to row i. The matrix it denotes
+// is Coef times the permutation matrix of Perm.
+type Term struct {
+	Perm []int
+	Coef int64
+}
+
+// Strategy selects how each permutation matrix is extracted.
+type Strategy int
+
+const (
+	// MaxMin extracts the bottleneck-optimal (max–min) perfect matching and
+	// uses its minimum entry as the coefficient.
+	MaxMin Strategy = iota + 1
+	// FirstFit extracts an arbitrary perfect matching of the positive
+	// support and uses its minimum entry as the coefficient.
+	FirstFit
+)
+
+// Decompose writes m as a sum of permutation-matrix terms. The input must be
+// doubly stochastic in the generalized sense (all row sums and column sums
+// equal); stuffed matrices produced by the matrix package always qualify.
+// The input is not modified. The returned terms sum exactly to m, and each
+// coefficient is at least 1 (entries are integers).
+//
+// Every step zeroes at least one support entry, so at most nnz(m) terms are
+// produced; for doubly stochastic matrices the classical bound
+// N²−2N+2 [Marcus–Ree] also applies.
+func Decompose(m *matrix.Matrix, s Strategy) ([]Term, error) {
+	if _, ok := m.DoublyStochasticValue(); !ok {
+		return nil, ErrNotDoublyStochastic
+	}
+	res := m.Clone()
+	var terms []Term
+	for !res.IsZero() {
+		var (
+			perm []int
+			err  error
+		)
+		switch s {
+		case MaxMin:
+			perm, _, err = matching.BottleneckPerfect(res)
+		case FirstFit:
+			perm, err = matching.PerfectAtLeast(res, 1)
+		default:
+			return nil, fmt.Errorf("bvn: unknown strategy %d", s)
+		}
+		if err != nil {
+			// Cannot happen for a doubly stochastic residual (Birkhoff's
+			// theorem guarantees a perfect matching on the support), but a
+			// future strategy bug must not loop forever.
+			return nil, fmt.Errorf("bvn: extraction failed: %w", err)
+		}
+		coef := minAlong(res, perm)
+		for i, j := range perm {
+			res.Add(i, j, -coef)
+		}
+		terms = append(terms, Term{Perm: perm, Coef: coef})
+	}
+	return terms, nil
+}
+
+// Recompose sums the terms back into a matrix of dimension n, the inverse of
+// Decompose. It is exported for tests and validators.
+func Recompose(terms []Term, n int) (*matrix.Matrix, error) {
+	out, err := matrix.New(n)
+	if err != nil {
+		return nil, err
+	}
+	for ti, t := range terms {
+		if len(t.Perm) != n {
+			return nil, fmt.Errorf("bvn: term %d has dimension %d, want %d", ti, len(t.Perm), n)
+		}
+		if t.Coef <= 0 {
+			return nil, fmt.Errorf("bvn: term %d has non-positive coefficient %d", ti, t.Coef)
+		}
+		for i, j := range t.Perm {
+			out.Add(i, j, t.Coef)
+		}
+	}
+	return out, nil
+}
+
+func minAlong(m *matrix.Matrix, perm []int) int64 {
+	mn := int64(-1)
+	for i, j := range perm {
+		v := m.At(i, j)
+		if mn == -1 || v < mn {
+			mn = v
+		}
+	}
+	return mn
+}

@@ -1,0 +1,188 @@
+package bvn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"reco/internal/matrix"
+)
+
+func mustMatrix(t *testing.T, rows [][]int64) *matrix.Matrix {
+	t.Helper()
+	m, err := matrix.FromRows(rows)
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	return m
+}
+
+func TestDecomposeRejectsNonDS(t *testing.T) {
+	m := mustMatrix(t, [][]int64{{1, 2}, {3, 4}})
+	if _, err := Decompose(m, MaxMin); !errors.Is(err, ErrNotDoublyStochastic) {
+		t.Errorf("err = %v, want ErrNotDoublyStochastic", err)
+	}
+}
+
+func TestDecomposeRejectsUnknownStrategy(t *testing.T) {
+	m := mustMatrix(t, [][]int64{{1, 0}, {0, 1}})
+	if _, err := Decompose(m, Strategy(99)); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestDecomposePaperExample(t *testing.T) {
+	// The regularized matrix D'_ex from Fig. 2 of the paper: all entries 200,
+	// DS value 600. It decomposes into exactly 3 permutations of coef 200.
+	m := mustMatrix(t, [][]int64{
+		{200, 200, 200},
+		{200, 200, 200},
+		{200, 200, 200},
+	})
+	terms, err := Decompose(m, MaxMin)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	if len(terms) != 3 {
+		t.Fatalf("got %d terms, want 3", len(terms))
+	}
+	for _, tm := range terms {
+		if tm.Coef != 200 {
+			t.Errorf("coef = %d, want 200", tm.Coef)
+		}
+	}
+	back, err := Recompose(terms, 3)
+	if err != nil {
+		t.Fatalf("Recompose: %v", err)
+	}
+	if !back.Equal(m) {
+		t.Errorf("recomposed:\n%vwant:\n%v", back, m)
+	}
+}
+
+func TestDecomposeIdentityLike(t *testing.T) {
+	m := mustMatrix(t, [][]int64{
+		{7, 0, 0},
+		{0, 7, 0},
+		{0, 0, 7},
+	})
+	for _, s := range []Strategy{MaxMin, FirstFit} {
+		terms, err := Decompose(m, s)
+		if err != nil {
+			t.Fatalf("strategy %d: %v", s, err)
+		}
+		if len(terms) != 1 || terms[0].Coef != 7 {
+			t.Errorf("strategy %d: terms %+v, want single coef-7 term", s, terms)
+		}
+	}
+}
+
+func checkDecomposition(t *testing.T, m *matrix.Matrix, s Strategy) []Term {
+	t.Helper()
+	terms, err := Decompose(m, s)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	back, err := Recompose(terms, m.N())
+	if err != nil {
+		t.Fatalf("Recompose: %v", err)
+	}
+	if !back.Equal(m) {
+		t.Fatalf("strategy %d: decomposition does not sum back to the input", s)
+	}
+	n := m.N()
+	bound := n*n - 2*n + 2
+	if n == 1 {
+		bound = 1
+	}
+	if len(terms) > bound {
+		t.Fatalf("strategy %d: %d terms exceeds Marcus–Ree bound %d", s, len(terms), bound)
+	}
+	for ti, tm := range terms {
+		if tm.Coef < 1 {
+			t.Fatalf("term %d has coefficient %d < 1", ti, tm.Coef)
+		}
+	}
+	return terms
+}
+
+func TestDecomposeRandomStuffed(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(10)
+		m, _ := matrix.New(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					m.Set(i, j, 1+rng.Int63n(300))
+				}
+			}
+		}
+		if m.IsZero() {
+			m.Set(0, 0, 1)
+		}
+		ds := matrix.StuffPreferNonZero(m)
+		checkDecomposition(t, ds, MaxMin)
+		checkDecomposition(t, ds, FirstFit)
+	}
+}
+
+func TestMaxMinNotWorseThanFirstFitOnUniform(t *testing.T) {
+	// On a near-uniform matrix, max–min extraction keeps coefficients large;
+	// its first coefficient must be at least FirstFit's.
+	m := mustMatrix(t, [][]int64{
+		{104, 109, 102},
+		{103, 105, 107},
+		{108, 101, 106},
+	})
+	ds := matrix.Stuff(m)
+	mm := checkDecomposition(t, ds, MaxMin)
+	ff := checkDecomposition(t, ds, FirstFit)
+	if mm[0].Coef < ff[0].Coef {
+		t.Errorf("max-min first coef %d < first-fit %d", mm[0].Coef, ff[0].Coef)
+	}
+	if len(mm) > len(ff) {
+		t.Errorf("max-min produced %d terms, first-fit %d; expected max-min to need no more", len(mm), len(ff))
+	}
+}
+
+func TestDecomposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		m, _ := matrix.New(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.6 {
+					m.Set(i, j, 1+rng.Int63n(50))
+				}
+			}
+		}
+		if m.IsZero() {
+			m.Set(0, 0, 2)
+		}
+		ds := matrix.Stuff(m)
+		terms, err := Decompose(ds, MaxMin)
+		if err != nil {
+			return false
+		}
+		back, err := Recompose(terms, n)
+		return err == nil && back.Equal(ds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecomposeValidation(t *testing.T) {
+	if _, err := Recompose([]Term{{Perm: []int{0}, Coef: 1}}, 2); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := Recompose([]Term{{Perm: []int{0, 1}, Coef: 0}}, 2); err == nil {
+		t.Error("zero coefficient accepted")
+	}
+	if _, err := Recompose(nil, 0); err == nil {
+		t.Error("zero dimension accepted")
+	}
+}

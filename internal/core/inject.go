@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"reco/internal/schedule"
+)
+
+// InjectDelays converts a non-preemptive packet-switch schedule into an
+// all-stop OCS schedule *without* regularizing start times: the switch
+// reconfigures at every distinct original start instant. It is the ablation
+// counterpart of RecoMul — the difference between the two isolates the
+// contribution of start-time regularization (Sec. IV-A) — and also serves
+// as the naive "just add δ whenever circuits change" transformation the
+// paper argues against.
+func InjectDelays(sp schedule.FlowSchedule, n int, delta int64) (*MulResult, error) {
+	if delta < 0 {
+		return nil, fmt.Errorf("%w: delta %d", ErrBadParam, delta)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: n %d", ErrBadParam, n)
+	}
+	if delta == 0 || len(sp) == 0 {
+		out := make(schedule.FlowSchedule, len(sp))
+		copy(out, sp)
+		return &MulResult{Flows: out}, nil
+	}
+	flows := make([]pseudoFlow, len(sp))
+	for idx, f := range sp {
+		if f.Gap != 0 {
+			return nil, fmt.Errorf("%w: input interval %d is not a packet-switch interval (gap %d)", ErrBadParam, idx, f.Gap)
+		}
+		if f.In >= n || f.Out >= n {
+			return nil, fmt.Errorf("%w: interval uses ports (%d,%d) outside fabric of %d", ErrBadParam, f.In, f.Out, n)
+		}
+		flows[idx] = pseudoFlow{start: f.Start, end: f.End, orig: f}
+	}
+	sortPseudo(flows)
+	instants := reconfigInstants(flows)
+	res := &MulResult{
+		Flows:     make(schedule.FlowSchedule, len(flows)),
+		Reconfigs: len(instants),
+		ConfTime:  int64(len(instants)) * delta,
+	}
+	for idx, f := range flows {
+		startShift := int64(countLE(instants, f.start)) * delta
+		endShift := int64(countLT(instants, f.end)) * delta
+		out := f.orig
+		out.Start = f.start + startShift
+		out.End = f.end + endShift
+		out.Gap = endShift - startShift
+		res.Flows[idx] = out
+	}
+	return res, nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"reco/internal/schedule"
+)
+
+// RecoMulNAS is the not-all-stop variant of RecoMul (Sec. VI): the same
+// stretch-and-snap regularization of start times, but a reconfiguration
+// stalls only the circuits being established — a starting flow waits δ for
+// its own setup while flows in flight elsewhere keep transmitting. Flows
+// that continue a circuit back-to-back on the same port pair skip even
+// their own setup.
+//
+// The schedule is feasible by the same argument as the all-stop variant
+// (every flow shifts right by at most δ, preserving per-port order), and
+// Theorem 3's ratio carries over unchanged, as the paper's Table III notes:
+// the not-all-stop completion of each flow is never later than its all-stop
+// completion.
+func RecoMulNAS(sp schedule.FlowSchedule, n int, delta, c int64) (*MulResult, error) {
+	if delta < 0 {
+		return nil, fmt.Errorf("%w: delta %d", ErrBadParam, delta)
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("%w: c %d", ErrBadParam, c)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: n %d", ErrBadParam, n)
+	}
+	if delta == 0 || len(sp) == 0 {
+		out := make(schedule.FlowSchedule, len(sp))
+		copy(out, sp)
+		return &MulResult{Flows: out}, nil
+	}
+	s := isqrt(c)
+	grid := s * delta
+
+	flows := make([]pseudoFlow, len(sp))
+	for idx, f := range sp {
+		if f.Gap != 0 {
+			return nil, fmt.Errorf("%w: input interval %d is not a packet-switch interval (gap %d)", ErrBadParam, idx, f.Gap)
+		}
+		if f.In >= n || f.Out >= n {
+			return nil, fmt.Errorf("%w: interval uses ports (%d,%d) outside fabric of %d", ErrBadParam, f.In, f.Out, n)
+		}
+		stretched := f.Start * (s + 1) / s
+		snapped := stretched / grid * grid
+		flows[idx] = pseudoFlow{start: snapped, end: snapped + f.Duration(), orig: f}
+	}
+	sortPseudo(flows)
+	freeIn := make([]int64, n)
+	freeOut := make([]int64, n)
+	for idx := range flows {
+		f := &flows[idx]
+		st := f.start
+		if freeIn[f.orig.In] > st {
+			st = freeIn[f.orig.In]
+		}
+		if freeOut[f.orig.Out] > st {
+			st = freeOut[f.orig.Out]
+		}
+		f.start = st
+		f.end = st + f.orig.Duration()
+		freeIn[f.orig.In] = f.end
+		freeOut[f.orig.Out] = f.end
+	}
+	sortPseudo(flows)
+
+	// Map pseudo time to real time by per-port propagation: a flow starts
+	// when its intended (regularized) instant arrives and both its ports
+	// are free in real time, then pays its own δ setup — unless it
+	// continues the circuit its pair was using back-to-back, which needs no
+	// setup. Setups on one port pair delay only that pair's timeline;
+	// everything else keeps transmitting (the not-all-stop property).
+	lastPseudoEnd := make(map[[2]int]int64, len(flows))
+	realFreeIn := make([]int64, n)
+	realFreeOut := make([]int64, n)
+	setups := 0
+	res := &MulResult{Flows: make(schedule.FlowSchedule, len(flows))}
+	for idx, f := range flows {
+		key := [2]int{f.orig.In, f.orig.Out}
+		continuation := false
+		if last, ok := lastPseudoEnd[key]; ok && last == f.start {
+			continuation = true
+		}
+		if f.end > lastPseudoEnd[key] {
+			lastPseudoEnd[key] = f.end
+		}
+		start := f.start
+		if realFreeIn[f.orig.In] > start {
+			start = realFreeIn[f.orig.In]
+		}
+		if realFreeOut[f.orig.Out] > start {
+			start = realFreeOut[f.orig.Out]
+		}
+		if !continuation {
+			setups++
+			start += delta
+		}
+		out := f.orig
+		out.Start = start
+		out.End = start + f.orig.Duration()
+		out.Gap = 0
+		realFreeIn[f.orig.In] = out.End
+		realFreeOut[f.orig.Out] = out.End
+		res.Flows[idx] = out
+	}
+	res.Reconfigs = setups
+	res.ConfTime = int64(setups) * delta
+	return res, nil
+}

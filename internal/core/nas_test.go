@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"reco/internal/matrix"
+	"reco/internal/packet"
+	"reco/internal/schedule"
+)
+
+func TestRecoMulNASValidation(t *testing.T) {
+	sp := schedule.FlowSchedule{{Start: 0, End: 10, In: 0, Out: 0}}
+	if _, err := RecoMulNAS(sp, 1, -1, 4); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative delta: %v", err)
+	}
+	if _, err := RecoMulNAS(sp, 1, 10, 0); !errors.Is(err, ErrBadParam) {
+		t.Errorf("c=0: %v", err)
+	}
+	if _, err := RecoMulNAS(sp, 0, 10, 4); !errors.Is(err, ErrBadParam) {
+		t.Errorf("n=0: %v", err)
+	}
+	gapped := schedule.FlowSchedule{{Start: 0, End: 10, Gap: 2, In: 0, Out: 0}}
+	if _, err := RecoMulNAS(gapped, 1, 10, 4); !errors.Is(err, ErrBadParam) {
+		t.Errorf("gapped input: %v", err)
+	}
+}
+
+func TestRecoMulNASZeroDelta(t *testing.T) {
+	sp := schedule.FlowSchedule{{Start: 5, End: 10, In: 0, Out: 0}}
+	res, err := RecoMulNAS(sp, 1, 0, 4)
+	if err != nil {
+		t.Fatalf("RecoMulNAS: %v", err)
+	}
+	if res.Reconfigs != 0 || res.Flows[0] != sp[0] {
+		t.Errorf("zero delta changed schedule: %+v", res)
+	}
+}
+
+func TestRecoMulNASParallelSetupsOverlap(t *testing.T) {
+	// Two disjoint flows: under not-all-stop their setups overlap, so both
+	// complete at pseudo end + delta.
+	const delta, c = 10, 4
+	sp := schedule.FlowSchedule{
+		{Start: 0, End: 100, In: 0, Out: 0, Coflow: 0},
+		{Start: 0, End: 100, In: 1, Out: 1, Coflow: 1},
+	}
+	res, err := RecoMulNAS(sp, 2, delta, c)
+	if err != nil {
+		t.Fatalf("RecoMulNAS: %v", err)
+	}
+	for _, f := range res.Flows {
+		if f.End != 110 {
+			t.Errorf("flow end = %d, want 110", f.End)
+		}
+	}
+	if res.Reconfigs != 2 {
+		t.Errorf("setups = %d, want 2", res.Reconfigs)
+	}
+}
+
+func TestRecoMulNASContinuationSkipsSetup(t *testing.T) {
+	// Tiny flows (far below c·delta) both snap to grid instant 0; conflict
+	// resolution pushes the second back-to-back onto the first on the same
+	// pair, making it a circuit continuation that needs no setup.
+	const delta, c = 10, 9 // s=3, grid=30
+	sp := schedule.FlowSchedule{
+		{Start: 0, End: 5, In: 0, Out: 0, Coflow: 0},
+		{Start: 5, End: 9, In: 0, Out: 0, Coflow: 1},
+	}
+	res, err := RecoMulNAS(sp, 1, delta, c)
+	if err != nil {
+		t.Fatalf("RecoMulNAS: %v", err)
+	}
+	if res.Reconfigs != 1 {
+		t.Errorf("setups = %d, want 1 (continuation)", res.Reconfigs)
+	}
+	if err := res.Flows.Validate(1, 2); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+// TestRecoMulNASNeverSlowerThanAllStop pins the Sec. VI claim on random
+// pipelines: per coflow, the not-all-stop completion is at most the
+// all-stop completion.
+func TestRecoMulNASNeverSlowerThanAllStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(8)
+		kk := 2 + rng.Intn(4)
+		delta := int64(1 + rng.Intn(60))
+		c := int64(1 + rng.Intn(9))
+		var ds []*matrix.Matrix
+		for k := 0; k < kk; k++ {
+			m, _ := matrix.New(n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if rng.Float64() < 0.35 {
+						m.Set(i, j, c*delta+rng.Int63n(10*delta))
+					}
+				}
+			}
+			ds = append(ds, m)
+		}
+		sp, err := packet.ListSchedule(ds, rng.Perm(kk))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		all, err := RecoMul(sp, n, delta, c)
+		if err != nil {
+			t.Fatalf("trial %d: all-stop: %v", trial, err)
+		}
+		nas, err := RecoMulNAS(sp, n, delta, c)
+		if err != nil {
+			t.Fatalf("trial %d: not-all-stop: %v", trial, err)
+		}
+		if err := nas.Flows.Validate(n, kk); err != nil {
+			t.Fatalf("trial %d: port constraint: %v", trial, err)
+		}
+		if err := nas.Flows.CheckDemand(ds); err != nil {
+			t.Fatalf("trial %d: demand: %v", trial, err)
+		}
+		allCCTs := all.Flows.CCTs(kk)
+		nasCCTs := nas.Flows.CCTs(kk)
+		for k := range ds {
+			if nasCCTs[k] > allCCTs[k] {
+				t.Fatalf("trial %d: coflow %d not-all-stop CCT %d exceeds all-stop %d",
+					trial, k, nasCCTs[k], allCCTs[k])
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"reco/internal/matrix"
+	"reco/internal/ordering"
+	"reco/internal/packet"
+	"reco/internal/schedule"
+)
+
+// MulPipelineResult reports a full Reco-Mul pipeline run, including the
+// per-coflow completion times under the all-stop OCS model.
+type MulPipelineResult struct {
+	// Flows is the feasible OCS schedule S_o.
+	Flows schedule.FlowSchedule
+	// CCTs[k] is the completion time of coflow k.
+	CCTs []int64
+	// Reconfigs and ConfTime account the all-stop reconfigurations.
+	Reconfigs int
+	ConfTime  int64
+	// PacketCCTs[k] is coflow k's completion time in the intermediate
+	// packet-switch schedule S_p, exposed for analysis and tests.
+	PacketCCTs []int64
+}
+
+// ScheduleMul runs the complete Reco-Mul pipeline of Sec. IV: the
+// primal–dual weighted-completion-time permutation (the combinatorial
+// equivalent of the Shafiee–Ghaderi ALG_p), a non-preemptive packet-switch
+// list schedule, and the Algorithm 2 transformation into a feasible all-stop
+// OCS schedule with reconfiguration delay delta and transmission threshold c.
+// A nil w means unit weights.
+func ScheduleMul(ds []*matrix.Matrix, w []float64, delta, c int64) (*MulPipelineResult, error) {
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("%w: no coflows", ErrBadParam)
+	}
+	order, err := ordering.PrimalDual(ds, w)
+	if err != nil {
+		return nil, fmt.Errorf("core: reco-mul ordering: %w", err)
+	}
+	sp, err := packet.ListSchedule(ds, order)
+	if err != nil {
+		return nil, fmt.Errorf("core: reco-mul packet schedule: %w", err)
+	}
+	mul, err := RecoMul(sp, ds[0].N(), delta, c)
+	if err != nil {
+		return nil, err
+	}
+	return &MulPipelineResult{
+		Flows:      mul.Flows,
+		CCTs:       mul.Flows.CCTs(len(ds)),
+		Reconfigs:  mul.Reconfigs,
+		ConfTime:   mul.ConfTime,
+		PacketCCTs: sp.CCTs(len(ds)),
+	}, nil
+}

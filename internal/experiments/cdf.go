@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"reco/internal/stats"
+)
+
+// cdfPercentiles are the points reported for the CDF-shaped figures.
+var cdfPercentiles = []float64{10, 25, 50, 75, 90, 95, 100}
+
+// Fig4aCDF reproduces the CDF presentation of Fig. 4(a): per density class,
+// the distribution of per-coflow reconfiguration counts for Reco-Sin and
+// Solstice at the default delta.
+func Fig4aCDF(cfg Config) (*Table, error) {
+	return cdfSingle(cfg, "fig4a-cdf",
+		"CDF of per-coflow reconfigurations (delta=%d)",
+		func(m singleMetrics) (float64, float64) { return m.recoReconf, m.solReconf })
+}
+
+// Fig4bCDF reproduces the CDF presentation of Fig. 4(b): per density class,
+// the distribution of per-coflow CCTs for Reco-Sin and Solstice.
+func Fig4bCDF(cfg Config) (*Table, error) {
+	return cdfSingle(cfg, "fig4b-cdf",
+		"CDF of per-coflow CCT (delta=%d)",
+		func(m singleMetrics) (float64, float64) { return m.recoCCT, m.solCCT })
+}
+
+func cdfSingle(cfg Config, id, titleFmt string, pick func(singleMetrics) (reco, sol float64)) (*Table, error) {
+	cfg = cfg.withDefaults()
+	coflows, err := singleWorkload(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	ms, err := runSingle(coflows, cfg.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf(titleFmt, cfg.Delta),
+		Columns: []string{"Reco-Sin", "Solstice"},
+	}
+	for _, cl := range classOrder {
+		var recoVals, solVals []float64
+		for _, m := range ms {
+			if m.class != cl {
+				continue
+			}
+			r, s := pick(m)
+			recoVals = append(recoVals, r)
+			solVals = append(solVals, s)
+		}
+		if len(recoVals) == 0 {
+			continue
+		}
+		for _, p := range cdfPercentiles {
+			r, err := stats.Percentile(recoVals, p)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", id, err)
+			}
+			s, err := stats.Percentile(solVals, p)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", id, err)
+			}
+			t.AddRow(fmt.Sprintf("%s p%.0f", cl, p), r, s)
+		}
+	}
+	return t, nil
+}

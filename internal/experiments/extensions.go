@@ -1,0 +1,482 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"reco/internal/core"
+	"reco/internal/eclipse"
+	"reco/internal/hybrid"
+	"reco/internal/matrix"
+	"reco/internal/ocs"
+	"reco/internal/online"
+	"reco/internal/ordering"
+	"reco/internal/packet"
+	"reco/internal/solstice"
+	"reco/internal/stats"
+	"reco/internal/sunflow"
+	"reco/internal/tms"
+	"reco/internal/workload"
+)
+
+// ExtSingle compares every single-coflow scheduler in the repository — the
+// paper's two (Reco-Sin, Solstice) plus the related-work baselines of
+// Table IV (Sunflow in the not-all-stop model, TMS's primitive BvN, and a
+// Helios-style slotted scheduler) — on mean CCT per density class.
+func ExtSingle(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	coflows, err := singleWorkload(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("ext-single: %w", err)
+	}
+	t := &Table{
+		ID:      "ext-single",
+		Title:   fmt.Sprintf("Mean single-coflow CCT across all baselines (delta=%d)", cfg.Delta),
+		Columns: []string{"Reco-Sin", "Solstice", "Sunflow", "TMS-BvN", "Helios", "Eclipse"},
+		Notes: []string{
+			"Sunflow runs under the not-all-stop model it was designed for; the rest are all-stop",
+			"Helios slot = 4*delta",
+		},
+	}
+	type acc struct{ reco, sol, sun, tmsb, helios, ecl []float64 }
+	byClass := map[workload.Class]*acc{}
+	for _, cl := range classOrder {
+		byClass[cl] = &acc{}
+	}
+	for _, c := range coflows {
+		d := c.Demand
+		a := byClass[workload.Classify(d)]
+
+		recoCCT, err := coreRecoSin(d, cfg.Delta)
+		if err != nil {
+			return nil, err
+		}
+		a.reco = append(a.reco, recoCCT)
+
+		solCCT, err := solsticeCCT(d, cfg.Delta)
+		if err != nil {
+			return nil, err
+		}
+		a.sol = append(a.sol, solCCT)
+
+		sun, err := sunflow.Schedule(d, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("ext-single sunflow: %w", err)
+		}
+		a.sun = append(a.sun, float64(sun.CCT))
+
+		bvnCS, err := tms.ScheduleBvN(d)
+		if err != nil {
+			return nil, fmt.Errorf("ext-single tms: %w", err)
+		}
+		bvnRes, err := ocs.ExecAllStop(d, bvnCS, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("ext-single tms exec: %w", err)
+		}
+		a.tmsb = append(a.tmsb, float64(bvnRes.CCT))
+
+		helCS, err := tms.ScheduleHelios(d, 4*cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("ext-single helios: %w", err)
+		}
+		helRes, err := ocs.ExecAllStop(d, helCS, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("ext-single helios exec: %w", err)
+		}
+		a.helios = append(a.helios, float64(helRes.CCT))
+
+		eclCS, err := eclipse.Schedule(d, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("ext-single eclipse: %w", err)
+		}
+		eclRes, err := ocs.ExecAllStop(d, eclCS, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("ext-single eclipse exec: %w", err)
+		}
+		a.ecl = append(a.ecl, float64(eclRes.CCT))
+	}
+	for _, cl := range classOrder {
+		a := byClass[cl]
+		reco, err := stats.Mean(a.reco)
+		if err != nil {
+			continue
+		}
+		sol, _ := stats.Mean(a.sol)
+		sun, _ := stats.Mean(a.sun)
+		tmsb, _ := stats.Mean(a.tmsb)
+		hel, _ := stats.Mean(a.helios)
+		ecl, _ := stats.Mean(a.ecl)
+		t.AddRow(cl.String(), reco, sol, sun, tmsb, hel, ecl)
+	}
+	return t, nil
+}
+
+func coreRecoSin(d *matrix.Matrix, delta int64) (float64, error) {
+	cs, err := core.RecoSin(d, delta)
+	if err != nil {
+		return 0, fmt.Errorf("ext-single reco-sin: %w", err)
+	}
+	res, err := ocs.ExecAllStop(d, cs, delta)
+	if err != nil {
+		return 0, fmt.Errorf("ext-single reco-sin exec: %w", err)
+	}
+	return float64(res.CCT), nil
+}
+
+func solsticeCCT(d *matrix.Matrix, delta int64) (float64, error) {
+	cs, err := solstice.Schedule(d)
+	if err != nil {
+		return 0, fmt.Errorf("ext-single solstice: %w", err)
+	}
+	res, err := ocs.ExecAllStop(d, cs, delta)
+	if err != nil {
+		return 0, fmt.Errorf("ext-single solstice exec: %w", err)
+	}
+	return float64(res.CCT), nil
+}
+
+// ExtOnline compares the online controller policies (Sec. VIII's future
+// direction): FIFO and SEBF serving one coflow at a time with Reco-Sin,
+// versus batching all pending coflows through Reco-Mul, on a Poisson-like
+// arrival stream.
+func ExtOnline(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "ext-online",
+		Title:   fmt.Sprintf("Online policies over arriving coflows (delta=%d, c=%d)", cfg.Delta, cfg.C),
+		Columns: []string{"avg CCT", "95p CCT", "reconfigs", "units"},
+	}
+	coflows, err := workload.Generate(workload.GenConfig{
+		N: cfg.MulN, NumCoflows: cfg.MulCoflows * 3, Seed: cfg.Seed,
+		MinDemand: cfg.C * cfg.Delta, MeanDemand: cfg.C * cfg.Delta,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ext-online: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x0411))
+	arrivals := make([]online.Arrival, len(coflows))
+	var at int64
+	for i, c := range coflows {
+		arrivals[i] = online.Arrival{Demand: c.Demand, At: at, Weight: 1}
+		// Mean inter-arrival of ~half a typical service time keeps the
+		// switch loaded without unbounded queueing.
+		at += rng.Int63n(4 * cfg.C * cfg.Delta)
+	}
+	for _, pol := range []online.Policy{online.FIFO{}, online.SEBF{}, online.Batch{}, online.DisjointBatch{}} {
+		res, err := online.Simulate(arrivals, pol, cfg.Delta, cfg.C)
+		if err != nil {
+			return nil, fmt.Errorf("ext-online %s: %w", pol.Name(), err)
+		}
+		vals := stats.Int64s(res.CCTs)
+		mean, err := stats.Mean(vals)
+		if err != nil {
+			return nil, fmt.Errorf("ext-online %s: %w", pol.Name(), err)
+		}
+		p95, _ := stats.Percentile(vals, 95)
+		t.AddRow(pol.Name(), mean, p95, float64(res.Reconfigs), float64(res.ServiceUnits))
+	}
+	return t, nil
+}
+
+// ExtHybrid sweeps the hybrid elephant threshold across multiples of delta,
+// exhibiting the trade-off behind the paper's c·δ assumption: too low and
+// mice flood the OCS with reconfigurations, too high and elephants crawl
+// over the slow packet network.
+func ExtHybrid(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "ext-hybrid",
+		Title:   fmt.Sprintf("Hybrid switch: mean CCT vs elephant threshold (delta=%d, packet 10x slower)", cfg.Delta),
+		Columns: []string{"mean CCT", "OCS reconfigs", "packet share %"},
+	}
+	// A workload with real mice: floor of 1 tick, spread over the usual
+	// decades, so the threshold has something to separate.
+	coflows, err := workload.Generate(workload.GenConfig{
+		N: cfg.SingleN, NumCoflows: cfg.SingleCoflows, Seed: cfg.Seed,
+		MinDemand: 1, MeanDemand: maxI64(cfg.Delta/50, 2), SizeSpread: 4,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ext-hybrid: %w", err)
+	}
+	// Sub-delta thresholds matter: a mouse is worth sending to the packet
+	// switch when its slowed-down transfer still beats its amortized share
+	// of a reconfiguration, which crosses over near delta/slowdown.
+	thresholds := []int64{0, cfg.Delta / 16, cfg.Delta / 4, cfg.Delta, 4 * cfg.Delta, 16 * cfg.Delta, 64 * cfg.Delta}
+	for _, threshold := range thresholds {
+		var ccts []float64
+		var reconfigs int
+		var ocsDemand, packetDemand int64
+		for _, c := range coflows {
+			res, err := hybrid.Schedule(c.Demand, hybrid.Config{
+				Delta: cfg.Delta, Threshold: threshold, PacketSlowdown: 10,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("ext-hybrid threshold %d: %w", threshold, err)
+			}
+			ccts = append(ccts, float64(res.CCT))
+			reconfigs += res.OCSReconfigs
+			ocsDemand += res.OCSDemand
+			packetDemand += res.PacketDemand
+		}
+		mean, err := stats.Mean(ccts)
+		if err != nil {
+			return nil, fmt.Errorf("ext-hybrid threshold %d: %w", threshold, err)
+		}
+		share := 0.0
+		if total := ocsDemand + packetDemand; total > 0 {
+			share = 100 * float64(packetDemand) / float64(total)
+		}
+		t.AddRow(fmt.Sprintf("thr=%d", threshold), mean, float64(reconfigs), share)
+	}
+	return t, nil
+}
+
+// ExtSunflowNAS compares Reco-Sin and Sunflow in Sunflow's own not-all-stop
+// model (Table III's "N" column): both are 2-approximate there, and the
+// regularized schedule's fewer establishments still pay off.
+func ExtSunflowNAS(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	coflows, err := singleWorkload(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("ext-sunflow: %w", err)
+	}
+	t := &Table{
+		ID:      "ext-sunflow",
+		Title:   fmt.Sprintf("Not-all-stop model: Reco-Sin vs Sunflow mean CCT (delta=%d)", cfg.Delta),
+		Columns: []string{"Reco-Sin(NAS)", "Sunflow", "Sunflow/Reco"},
+	}
+	type acc struct{ reco, sun []float64 }
+	byClass := map[workload.Class]*acc{}
+	for _, cl := range classOrder {
+		byClass[cl] = &acc{}
+	}
+	for _, c := range coflows {
+		d := c.Demand
+		cs, err := core.RecoSin(d, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("ext-sunflow: %w", err)
+		}
+		nas, err := ocs.ExecNotAllStop(d, cs, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("ext-sunflow: %w", err)
+		}
+		sun, err := sunflow.Schedule(d, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("ext-sunflow: %w", err)
+		}
+		a := byClass[workload.Classify(d)]
+		a.reco = append(a.reco, float64(nas.CCT))
+		a.sun = append(a.sun, float64(sun.CCT))
+	}
+	for _, cl := range classOrder {
+		a := byClass[cl]
+		reco, err := stats.Mean(a.reco)
+		if err != nil {
+			continue
+		}
+		sun, _ := stats.Mean(a.sun)
+		t.AddRow(cl.String(), reco, sun, stats.Ratio(sun, reco))
+	}
+	return t, nil
+}
+
+// ExtOptics measures the "price of optics": Reco-Mul's mean CCT over the
+// idealized sequential-fluid electrical-switch reference (SEBF order, MADD
+// rate sharing, zero reconfiguration cost), as the reconfiguration delay
+// sweeps. As delta shrinks the optical schedule approaches the electrical
+// reference; the residual gap at delta->0 is the cost of circuit
+// integrality (one flow per port at a time).
+func ExtOptics(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "ext-optics",
+		Title:   fmt.Sprintf("Reco-Mul CCT over the ideal electrical reference, vs delta (c=%d)", cfg.C),
+		Columns: []string{"Reco-Mul avg", "fluid avg", "ratio"},
+	}
+	var batches [][]*matrix.Matrix
+	for b := 0; b < cfg.MulBatches; b++ {
+		ds, err := mixedBatch(cfg, cfg.Seed+int64(b*41+23))
+		if err != nil {
+			return nil, fmt.Errorf("ext-optics: %w", err)
+		}
+		batches = append(batches, ds)
+	}
+	for _, delta := range []int64{0, 10, 100, 1000} {
+		var recoVals, fluidVals []float64
+		for _, ds := range batches {
+			mul, err := core.ScheduleMul(ds, nil, delta, cfg.C)
+			if err != nil {
+				return nil, fmt.Errorf("ext-optics delta=%d: %w", delta, err)
+			}
+			order := ordering.SEBF(ds)
+			fluid, err := packet.FluidCCTs(ds, order)
+			if err != nil {
+				return nil, fmt.Errorf("ext-optics: %w", err)
+			}
+			recoVals = append(recoVals, stats.Int64s(mul.CCTs)...)
+			fluidVals = append(fluidVals, stats.Int64s(fluid)...)
+		}
+		recoMean, err := stats.Mean(recoVals)
+		if err != nil {
+			return nil, fmt.Errorf("ext-optics: %w", err)
+		}
+		fluidMean, _ := stats.Mean(fluidVals)
+		t.AddRow(fmt.Sprintf("d=%d", delta), recoMean, fluidMean, stats.Ratio(recoMean, fluidMean))
+	}
+	return t, nil
+}
+
+// ExtScale checks the scale-stability claim behind the repository's
+// reduced-size defaults (DESIGN.md §2): the normalized multi-coflow ratios
+// that the paper reports keep their direction and rough magnitude as the
+// fabric size sweeps. Each row is one fabric size; the cells are the
+// LP-II-GB/Reco-Mul mean-CCT and reconfiguration ratios over mixed batches.
+func ExtScale(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "ext-scale",
+		Title:   fmt.Sprintf("Scale stability of LP-II-GB / Reco-Mul ratios vs fabric size (delta=%d, c=%d)", cfg.Delta, cfg.C),
+		Columns: []string{"CCT ratio", "reconf ratio"},
+	}
+	base := cfg.MulN
+	for _, n := range []int{base / 2, base * 3 / 4, base} {
+		sweep := cfg
+		sweep.MulN = n
+		var lpVals, recoVals []float64
+		var lpReconf, recoReconf float64
+		for b := 0; b < cfg.MulBatches; b++ {
+			ds, err := mixedBatch(sweep, cfg.Seed+int64(b*29+31))
+			if err != nil {
+				return nil, fmt.Errorf("ext-scale n=%d: %w", n, err)
+			}
+			out, err := runMulBatch(ds, nil, cfg.Delta, cfg.C, false)
+			if err != nil {
+				return nil, fmt.Errorf("ext-scale n=%d batch %d: %w", n, b, err)
+			}
+			lpVals = append(lpVals, stats.Int64s(out.lpCCTs)...)
+			recoVals = append(recoVals, stats.Int64s(out.recoCCTs)...)
+			lpReconf += float64(out.lpReconf)
+			recoReconf += float64(out.recoReconf)
+		}
+		lpMean, err := stats.Mean(lpVals)
+		if err != nil {
+			return nil, fmt.Errorf("ext-scale n=%d: %w", n, err)
+		}
+		recoMean, _ := stats.Mean(recoVals)
+		t.AddRow(fmt.Sprintf("N=%d", n), stats.Ratio(lpMean, recoMean), stats.Ratio(lpReconf, recoReconf))
+	}
+	return t, nil
+}
+
+// ExtNAS compares Reco-Mul under the two reconfiguration models of Table
+// III: the all-stop transformation versus the not-all-stop variant (only
+// the ports being set up stall) on mixed batches. Not-all-stop completions
+// are never later per coflow; the gap measures how much the all-stop
+// freezes cost.
+func ExtNAS(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "ext-nas",
+		Title:   fmt.Sprintf("Reco-Mul: all-stop vs not-all-stop (delta=%d, c=%d)", cfg.Delta, cfg.C),
+		Columns: []string{"all-stop CCT", "NAS CCT", "speedup", "AS reconf", "NAS setups"},
+	}
+	var asVals, nasVals []float64
+	var asReconf, nasReconf float64
+	for b := 0; b < cfg.MulBatches; b++ {
+		ds, err := mixedBatch(cfg, cfg.Seed+int64(b*67+13))
+		if err != nil {
+			return nil, fmt.Errorf("ext-nas: %w", err)
+		}
+		order, err := ordering.PrimalDual(ds, nil)
+		if err != nil {
+			return nil, fmt.Errorf("ext-nas: %w", err)
+		}
+		sp, err := packet.ListSchedule(ds, order)
+		if err != nil {
+			return nil, fmt.Errorf("ext-nas: %w", err)
+		}
+		as, err := core.RecoMul(sp, cfg.MulN, cfg.Delta, cfg.C)
+		if err != nil {
+			return nil, fmt.Errorf("ext-nas: %w", err)
+		}
+		nas, err := core.RecoMulNAS(sp, cfg.MulN, cfg.Delta, cfg.C)
+		if err != nil {
+			return nil, fmt.Errorf("ext-nas: %w", err)
+		}
+		asVals = append(asVals, stats.Int64s(as.Flows.CCTs(len(ds)))...)
+		nasVals = append(nasVals, stats.Int64s(nas.Flows.CCTs(len(ds)))...)
+		asReconf += float64(as.Reconfigs)
+		nasReconf += float64(nas.Reconfigs)
+	}
+	asMean, err := stats.Mean(asVals)
+	if err != nil {
+		return nil, fmt.Errorf("ext-nas: %w", err)
+	}
+	nasMean, _ := stats.Mean(nasVals)
+	nb := float64(cfg.MulBatches)
+	t.AddRow("mixed", asMean, nasMean, stats.Ratio(asMean, nasMean), asReconf/nb, nasReconf/nb)
+	return t, nil
+}
+
+// ExtFull runs the complete 526-coflow workload at the paper's own scale —
+// 150 ports, no folding — through Reco-Mul and SEBF+Solstice: the
+// full-trace headline comparison. LP-II-GB is omitted: its interval-indexed
+// LP over 526 coflows is what the paper bought GUROBI for. Not part of
+// `recobench -exp all`; run it explicitly (it takes ~30 s).
+func ExtFull(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	coflows, err := workload.Generate(workload.GenConfig{
+		N: 150, NumCoflows: 526, Seed: cfg.Seed,
+		MinDemand: cfg.C * cfg.Delta, MeanDemand: cfg.C * cfg.Delta,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ext-full: %w", err)
+	}
+	ds := make([]*matrix.Matrix, len(coflows))
+	for i, c := range coflows {
+		ds[i] = c.Demand
+	}
+
+	reco, err := core.ScheduleMul(ds, nil, cfg.Delta, cfg.C)
+	if err != nil {
+		return nil, fmt.Errorf("ext-full reco-mul: %w", err)
+	}
+	schedules := make([]ocs.CircuitSchedule, len(ds))
+	for k, d := range ds {
+		if schedules[k], err = solstice.Schedule(d); err != nil {
+			return nil, fmt.Errorf("ext-full solstice coflow %d: %w", k, err)
+		}
+	}
+	sebf, err := ocs.ExecSequential(ds, schedules, ordering.SEBF(ds), cfg.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("ext-full sebf exec: %w", err)
+	}
+
+	t := &Table{
+		ID:      "ext-full",
+		Title:   fmt.Sprintf("Full 526-coflow workload on 150 ports (delta=%d, c=%d)", cfg.Delta, cfg.C),
+		Columns: []string{"Reco-Mul avg", "SEBF+Sol avg", "SEBF/Reco"},
+		Notes: []string{
+			"not part of -exp all; LP-II-GB omitted (526-coflow LP needs a commercial solver)",
+			fmt.Sprintf("reconfigurations: Reco-Mul %d, SEBF+Solstice %d", reco.Reconfigs, sebf.Reconfigs),
+		},
+	}
+	classes := classesOf(ds)
+	for _, cl := range mulClassOrder {
+		var recoVals, sebfVals []float64
+		for k := range ds {
+			if cl != mixed && classes[k] != cl {
+				continue
+			}
+			recoVals = append(recoVals, float64(reco.CCTs[k]))
+			sebfVals = append(sebfVals, float64(sebf.CCTs[k]))
+		}
+		recoMean, err := stats.Mean(recoVals)
+		if err != nil {
+			continue
+		}
+		sebfMean, _ := stats.Mean(sebfVals)
+		t.AddRow(className(cl), recoMean, sebfMean, stats.Ratio(sebfMean, recoMean))
+	}
+	return t, nil
+}

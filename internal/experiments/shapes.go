@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+// VerifyShapes runs the headline experiments at the given configuration and
+// checks the qualitative claims the paper makes (and EXPERIMENTS.md
+// records): who wins, and how the gaps move with the swept parameters. It
+// returns one error per violated claim, or nil when every shape holds.
+//
+// The claims are calibrated for the default Config scale; heavily shrunken
+// configurations can legitimately violate the noisier multi-coflow shapes.
+func VerifyShapes(cfg Config) []error {
+	cfg = cfg.withDefaults()
+	var errs []error
+	report := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	// Fig. 4: Reco-Sin reconfigures less and finishes faster in every class.
+	if tbl, err := Fig4a(cfg); err != nil {
+		report("fig4a: %v", err)
+	} else {
+		for _, r := range tbl.Rows {
+			if r.Cells[2] < 1 {
+				report("fig4a %s: Solstice/Reco reconfiguration ratio %.3f < 1", r.Label, r.Cells[2])
+			}
+		}
+	}
+	if tbl, err := Fig4b(cfg); err != nil {
+		report("fig4b: %v", err)
+	} else {
+		for _, r := range tbl.Rows {
+			if r.Cells[2] < 1 {
+				report("fig4b %s: Solstice/Reco CCT ratio %.3f < 1", r.Label, r.Cells[2])
+			}
+		}
+	}
+
+	// Fig. 5(a): Reco-Sin's count falls (weakly) along the delta sweep while
+	// Solstice's stays constant; Fig. 5(b): Reco-Sin stays within 2x of the
+	// lower bound everywhere.
+	if tbl, err := Fig5a(cfg); err != nil {
+		report("fig5a: %v", err)
+	} else {
+		classes := len(classOrder)
+		for ci := 0; ci < classes; ci++ {
+			prevReco := -1.0
+			for d := 0; d < len(tbl.Rows)/classes; d++ {
+				row := tbl.Rows[d*classes+ci]
+				if prevReco >= 0 && row.Cells[0] > prevReco*1.01 {
+					report("fig5a %s: Reco-Sin count rose along the delta sweep (%.1f -> %.1f)",
+						row.Label, prevReco, row.Cells[0])
+				}
+				prevReco = row.Cells[0]
+				if row.Cells[1] != tbl.Rows[ci].Cells[1] {
+					report("fig5a %s: Solstice count moved with delta", row.Label)
+				}
+			}
+		}
+	}
+	if tbl, err := Fig5b(cfg); err != nil {
+		report("fig5b: %v", err)
+	} else {
+		for _, r := range tbl.Rows {
+			if r.Cells[0] > 2 {
+				report("fig5b %s: Reco-Sin %.3fx the lower bound exceeds Theorem 2's 2x", r.Label, r.Cells[0])
+			}
+			if r.Cells[1] < r.Cells[0]-0.25 {
+				report("fig5b %s: Solstice (%.3f) materially below Reco-Sin (%.3f)", r.Label, r.Cells[1], r.Cells[0])
+			}
+		}
+	}
+
+	// Fig. 6/7/8: Reco-Mul wins the aggregate (the "all" row) on weighted
+	// CCT, unweighted CCT and reconfigurations.
+	if tbl, err := Fig6(cfg); err != nil {
+		report("fig6: %v", err)
+	} else if last := tbl.Rows[len(tbl.Rows)-1]; last.Cells[0] < 1 {
+		report("fig6 all: LP-II-GB/Reco weighted-CCT ratio %.3f < 1", last.Cells[0])
+	}
+	if tbl, err := Fig7(cfg); err != nil {
+		report("fig7: %v", err)
+	} else if last := tbl.Rows[len(tbl.Rows)-1]; last.Cells[0] < 1 || last.Cells[2] < 1 {
+		report("fig7 all: a baseline beat Reco-Mul (LP %.3f, SEBF %.3f)", last.Cells[0], last.Cells[2])
+	}
+	if tbl, err := Fig8(cfg); err != nil {
+		report("fig8: %v", err)
+	} else if last := tbl.Rows[len(tbl.Rows)-1]; last.Cells[2] < 1 {
+		report("fig8 all: LP-II-GB reconfigured less than Reco-Mul (%.3f)", last.Cells[2])
+	}
+
+	// Theorem exhibits.
+	if tbl, err := Thm1(cfg); err != nil {
+		report("thm1: %v", err)
+	} else if first, last := tbl.Rows[0].Cells[4], tbl.Rows[len(tbl.Rows)-1].Cells[4]; last <= first {
+		report("thm1: the BvN/Reco ratio did not grow with N (%.2f -> %.2f)", first, last)
+	}
+	if tbl, err := Thm2(cfg); err != nil {
+		report("thm2: %v", err)
+	} else {
+		for _, r := range tbl.Rows {
+			if r.Cells[0] > 2 {
+				report("thm2 %s: worst ratio %.3f exceeds the bound 2", r.Label, r.Cells[0])
+			}
+		}
+	}
+	return errs
+}

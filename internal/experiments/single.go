@@ -1,0 +1,459 @@
+package experiments
+
+import (
+	"fmt"
+
+	"reco/internal/bvn"
+	"reco/internal/core"
+	"reco/internal/matrix"
+	"reco/internal/ocs"
+	"reco/internal/solstice"
+	"reco/internal/stats"
+	"reco/internal/workload"
+)
+
+// classOrder is the presentation order for per-density-class rows.
+var classOrder = []workload.Class{workload.Sparse, workload.Normal, workload.Dense}
+
+// singleWorkload generates the scaled single-coflow experiment workload.
+func singleWorkload(cfg Config) ([]workload.Coflow, error) {
+	return workload.Generate(workload.GenConfig{
+		N:          cfg.SingleN,
+		NumCoflows: cfg.SingleCoflows,
+		Seed:       cfg.Seed,
+		MinDemand:  cfg.C * cfg.Delta,
+		MeanDemand: maxI64(800, 2*cfg.C*cfg.Delta),
+	})
+}
+
+// singleMetrics holds one coflow's single-coflow scheduling outcome for both
+// algorithms.
+type singleMetrics struct {
+	class                  workload.Class
+	recoReconf, solReconf  float64
+	recoCCT, solCCT, lower float64
+}
+
+// runSingle schedules every coflow with Reco-Sin and Solstice under the
+// all-stop model with the given delta.
+func runSingle(coflows []workload.Coflow, delta int64) ([]singleMetrics, error) {
+	out := make([]singleMetrics, 0, len(coflows))
+	for _, c := range coflows {
+		d := c.Demand
+		recoCS, err := core.RecoSin(d, delta)
+		if err != nil {
+			return nil, fmt.Errorf("reco-sin on coflow %d: %w", c.ID, err)
+		}
+		recoRes, err := ocs.ExecAllStop(d, recoCS, delta)
+		if err != nil {
+			return nil, fmt.Errorf("reco-sin exec on coflow %d: %w", c.ID, err)
+		}
+		solCS, err := solstice.Schedule(d)
+		if err != nil {
+			return nil, fmt.Errorf("solstice on coflow %d: %w", c.ID, err)
+		}
+		solRes, err := ocs.ExecAllStop(d, solCS, delta)
+		if err != nil {
+			return nil, fmt.Errorf("solstice exec on coflow %d: %w", c.ID, err)
+		}
+		out = append(out, singleMetrics{
+			class:      workload.Classify(d),
+			recoReconf: float64(recoRes.Reconfigs),
+			solReconf:  float64(solRes.Reconfigs),
+			recoCCT:    float64(recoRes.CCT),
+			solCCT:     float64(solRes.CCT),
+			lower:      float64(ocs.LowerBound(d, delta)),
+		})
+	}
+	return out, nil
+}
+
+func classMeans(ms []singleMetrics, cl workload.Class, pick func(singleMetrics) float64) float64 {
+	var vals []float64
+	for _, m := range ms {
+		if m.class == cl {
+			vals = append(vals, pick(m))
+		}
+	}
+	mean, err := stats.Mean(vals)
+	if err != nil {
+		return 0
+	}
+	return mean
+}
+
+// Fig4a reproduces Fig. 4(a): reconfiguration counts of Reco-Sin vs
+// Solstice per density class at the default delta. The paper reports
+// Solstice needing 2.58× / 7.07× / 7.36× the reconfigurations of Reco-Sin
+// for sparse / normal / dense coflows.
+func Fig4a(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	coflows, err := singleWorkload(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig4a: %w", err)
+	}
+	ms, err := runSingle(coflows, cfg.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("fig4a: %w", err)
+	}
+	t := &Table{
+		ID:      "fig4a",
+		Title:   fmt.Sprintf("Mean reconfigurations per coflow (delta=%d)", cfg.Delta),
+		Columns: []string{"Reco-Sin", "Solstice", "Solstice/Reco"},
+		Notes:   []string{"paper ratios: sparse 2.58x, normal 7.07x, dense 7.36x"},
+	}
+	for _, cl := range classOrder {
+		reco := classMeans(ms, cl, func(m singleMetrics) float64 { return m.recoReconf })
+		sol := classMeans(ms, cl, func(m singleMetrics) float64 { return m.solReconf })
+		t.AddRow(cl.String(), reco, sol, stats.Ratio(sol, reco))
+	}
+	return t, nil
+}
+
+// Fig4b reproduces Fig. 4(b): CCT of Reco-Sin vs Solstice per density class
+// at the default delta. The paper reports Solstice needing 1.19× / 1.15× /
+// 1.14× the time of Reco-Sin.
+func Fig4b(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	coflows, err := singleWorkload(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig4b: %w", err)
+	}
+	ms, err := runSingle(coflows, cfg.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("fig4b: %w", err)
+	}
+	t := &Table{
+		ID:      "fig4b",
+		Title:   fmt.Sprintf("Mean single-coflow CCT (delta=%d)", cfg.Delta),
+		Columns: []string{"Reco-Sin", "Solstice", "Solstice/Reco"},
+		Notes:   []string{"paper ratios: sparse 1.19x, normal 1.15x, dense 1.14x"},
+	}
+	for _, cl := range classOrder {
+		reco := classMeans(ms, cl, func(m singleMetrics) float64 { return m.recoCCT })
+		sol := classMeans(ms, cl, func(m singleMetrics) float64 { return m.solCCT })
+		t.AddRow(cl.String(), reco, sol, stats.Ratio(sol, reco))
+	}
+	return t, nil
+}
+
+// deltaSweep is the Fig. 5 sweep: 100 µs up to 100 ms in decade steps
+// (ticks are µs).
+var deltaSweep = []int64{100, 1_000, 10_000, 100_000}
+
+// Fig5a reproduces Fig. 5(a): reconfiguration counts vs delta per density
+// class. Solstice's count is delta-independent; Reco-Sin's falls as delta
+// grows because regularization aligns more entries.
+func Fig5a(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	coflows, err := singleWorkload(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig5a: %w", err)
+	}
+	t := &Table{
+		ID:      "fig5a",
+		Title:   "Mean reconfigurations per coflow vs delta",
+		Columns: []string{"Reco-Sin", "Solstice", "Solstice/Reco"},
+		Notes:   []string{"paper: Solstice needs 2.10-3.10x (sparse) and 7.55-8.12x (non-sparse) Reco-Sin's reconfigurations"},
+	}
+	for _, delta := range deltaSweep {
+		ms, err := runSingle(coflows, delta)
+		if err != nil {
+			return nil, fmt.Errorf("fig5a delta=%d: %w", delta, err)
+		}
+		for _, cl := range classOrder {
+			reco := classMeans(ms, cl, func(m singleMetrics) float64 { return m.recoReconf })
+			sol := classMeans(ms, cl, func(m singleMetrics) float64 { return m.solReconf })
+			t.AddRow(fmt.Sprintf("%s d=%d", cl, delta), reco, sol, stats.Ratio(sol, reco))
+		}
+	}
+	return t, nil
+}
+
+// Fig5b reproduces Fig. 5(b): CCT normalized to the lower bound ρ+τδ vs
+// delta per density class. The paper's extreme delta point has Solstice at
+// 32.66× / 23.89× / 18.26× the bound and Reco-Sin at 21.00× / 3.96× / 2.72×.
+func Fig5b(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	coflows, err := singleWorkload(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig5b: %w", err)
+	}
+	t := &Table{
+		ID:      "fig5b",
+		Title:   "Mean CCT normalized to the lower bound rho+tau*delta, vs delta",
+		Columns: []string{"Reco-Sin/LB", "Solstice/LB"},
+		Notes:   []string{"paper at delta=100ms: Solstice 32.66/23.89/18.26x vs Reco-Sin 21.00/3.96/2.72x (sparse/normal/dense)"},
+	}
+	for _, delta := range deltaSweep {
+		ms, err := runSingle(coflows, delta)
+		if err != nil {
+			return nil, fmt.Errorf("fig5b delta=%d: %w", delta, err)
+		}
+		for _, cl := range classOrder {
+			var recoN, solN []float64
+			for _, m := range ms {
+				if m.class != cl || m.lower == 0 {
+					continue
+				}
+				recoN = append(recoN, m.recoCCT/m.lower)
+				solN = append(solN, m.solCCT/m.lower)
+			}
+			recoMean, err := stats.Mean(recoN)
+			if err != nil {
+				continue
+			}
+			solMean, _ := stats.Mean(solN)
+			t.AddRow(fmt.Sprintf("%s d=%d", cl, delta), recoMean, solMean)
+		}
+	}
+	return t, nil
+}
+
+// Thm1 exhibits the Theorem 1 pathology: on matrices crafted to need many
+// Birkhoff terms, a primitive (first-fit) BvN schedule performs Θ(N²)
+// reconfigurations while Reco-Sin stays near N, so the CCT gap grows with N.
+func Thm1(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "thm1",
+		Title:   fmt.Sprintf("Primitive BvN vs Reco-Sin on adversarial near-uniform matrices (delta=%d)", cfg.Delta),
+		Columns: []string{"BvN reconf", "Reco reconf", "BvN CCT", "Reco CCT", "CCT ratio"},
+		Notes:   []string{"Theorem 1: the ratio grows with N"},
+	}
+	for _, n := range []int{4, 8, 16, 32} {
+		d, err := adversarialMatrix(n, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("thm1: %w", err)
+		}
+		stuffed := matrix.Stuff(d)
+		terms, err := bvn.Decompose(stuffed, bvn.FirstFit)
+		if err != nil {
+			return nil, fmt.Errorf("thm1: %w", err)
+		}
+		cs := make(ocs.CircuitSchedule, len(terms))
+		for i, tm := range terms {
+			cs[i] = ocs.Assignment{Perm: tm.Perm, Dur: tm.Coef}
+		}
+		bvnRes, err := ocs.ExecAllStop(d, cs, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("thm1 bvn exec: %w", err)
+		}
+		recoCS, err := core.RecoSin(d, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("thm1 reco: %w", err)
+		}
+		recoRes, err := ocs.ExecAllStop(d, recoCS, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("thm1 reco exec: %w", err)
+		}
+		t.AddRow(fmt.Sprintf("N=%d", n),
+			float64(bvnRes.Reconfigs), float64(recoRes.Reconfigs),
+			float64(bvnRes.CCT), float64(recoRes.CCT),
+			stats.Ratio(float64(bvnRes.CCT), float64(recoRes.CCT)))
+	}
+	return t, nil
+}
+
+// adversarialMatrix builds the Theorem 1 construction: a full matrix of
+// small pairwise-distinct entries (ε-scaled), which forces a primitive BvN
+// decomposition into Θ(N²) permutations while a regularized schedule covers
+// it with N establishments.
+func adversarialMatrix(n int, delta int64) (*matrix.Matrix, error) {
+	d, err := matrix.New(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// Distinct tiny values; strictly positive, all below delta.
+			d.Set(i, j, 1+int64((i*n+j)%int(maxI64(2, delta-1))))
+		}
+	}
+	return d, nil
+}
+
+// Thm2 verifies Theorem 2 over the workload: per class, the worst observed
+// Reco-Sin CCT over the lower bound stays at or below 2.
+func Thm2(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	coflows, err := singleWorkload(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("thm2: %w", err)
+	}
+	ms, err := runSingle(coflows, cfg.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("thm2: %w", err)
+	}
+	t := &Table{
+		ID:      "thm2",
+		Title:   "Worst-case Reco-Sin CCT / (rho + tau*delta) per class",
+		Columns: []string{"max ratio", "bound"},
+		Notes:   []string{"Theorem 2 guarantees the ratio never exceeds 2"},
+	}
+	for _, cl := range classOrder {
+		worst := 0.0
+		for _, m := range ms {
+			if m.class != cl || m.lower == 0 {
+				continue
+			}
+			if r := m.recoCCT / m.lower; r > worst {
+				worst = r
+			}
+		}
+		t.AddRow(cl.String(), worst, 2)
+	}
+	return t, nil
+}
+
+// AblationRegularization isolates Sec. III-B: Reco-Sin versus the same
+// pipeline without demand regularization (stuff + max–min BvN directly).
+func AblationRegularization(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	coflows, err := singleWorkload(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("ablation-reg: %w", err)
+	}
+	t := &Table{
+		ID:      "ablation-reg",
+		Title:   fmt.Sprintf("Reco-Sin vs unregularized stuff+max-min BvN (delta=%d)", cfg.Delta),
+		Columns: []string{"Reco reconf", "NoReg reconf", "Reco CCT", "NoReg CCT"},
+	}
+	type acc struct{ rr, nr, rc, nc []float64 }
+	byClass := map[workload.Class]*acc{}
+	for _, cl := range classOrder {
+		byClass[cl] = &acc{}
+	}
+	for _, c := range coflows {
+		d := c.Demand
+		recoCS, err := core.RecoSin(d, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("ablation-reg: %w", err)
+		}
+		recoRes, err := ocs.ExecAllStop(d, recoCS, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("ablation-reg: %w", err)
+		}
+		// No regularization: RecoSin with delta 0 builds the same pipeline
+		// minus the rounding step.
+		noregCS, err := core.RecoSin(d, 0)
+		if err != nil {
+			return nil, fmt.Errorf("ablation-reg: %w", err)
+		}
+		noregRes, err := ocs.ExecAllStop(d, noregCS, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("ablation-reg: %w", err)
+		}
+		a := byClass[workload.Classify(d)]
+		a.rr = append(a.rr, float64(recoRes.Reconfigs))
+		a.nr = append(a.nr, float64(noregRes.Reconfigs))
+		a.rc = append(a.rc, float64(recoRes.CCT))
+		a.nc = append(a.nc, float64(noregRes.CCT))
+	}
+	for _, cl := range classOrder {
+		a := byClass[cl]
+		rr, err := stats.Mean(a.rr)
+		if err != nil {
+			continue
+		}
+		nr, _ := stats.Mean(a.nr)
+		rc, _ := stats.Mean(a.rc)
+		nc, _ := stats.Mean(a.nc)
+		t.AddRow(cl.String(), rr, nr, rc, nc)
+	}
+	return t, nil
+}
+
+// AblationBvNStrategy isolates the extraction rule inside Reco-Sin's
+// decomposition: max–min matching versus first-fit matching, both on the
+// regularized stuffed matrix.
+func AblationBvNStrategy(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	coflows, err := singleWorkload(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("ablation-bvn: %w", err)
+	}
+	t := &Table{
+		ID:      "ablation-bvn",
+		Title:   fmt.Sprintf("BvN extraction rule inside Reco-Sin (delta=%d)", cfg.Delta),
+		Columns: []string{"max-min terms", "first-fit terms"},
+	}
+	type acc struct{ mm, ff []float64 }
+	byClass := map[workload.Class]*acc{}
+	for _, cl := range classOrder {
+		byClass[cl] = &acc{}
+	}
+	for _, c := range coflows {
+		reg := core.Regularize(c.Demand, cfg.Delta)
+		stuffed := matrix.StuffPreferNonZero(reg)
+		mm, err := bvn.Decompose(stuffed, bvn.MaxMin)
+		if err != nil {
+			return nil, fmt.Errorf("ablation-bvn: %w", err)
+		}
+		ff, err := bvn.Decompose(stuffed, bvn.FirstFit)
+		if err != nil {
+			return nil, fmt.Errorf("ablation-bvn: %w", err)
+		}
+		a := byClass[workload.Classify(c.Demand)]
+		a.mm = append(a.mm, float64(len(mm)))
+		a.ff = append(a.ff, float64(len(ff)))
+	}
+	for _, cl := range classOrder {
+		a := byClass[cl]
+		mm, err := stats.Mean(a.mm)
+		if err != nil {
+			continue
+		}
+		ff, _ := stats.Mean(a.ff)
+		t.AddRow(cl.String(), mm, ff)
+	}
+	return t, nil
+}
+
+// NotAllStop compares the all-stop and not-all-stop executors on Reco-Sin
+// schedules (Sec. VI): the not-all-stop model can only help, because
+// carried-over circuits transmit through reconfigurations.
+func NotAllStop(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	coflows, err := singleWorkload(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("notallstop: %w", err)
+	}
+	t := &Table{
+		ID:      "notallstop",
+		Title:   fmt.Sprintf("Reco-Sin CCT under all-stop vs not-all-stop (delta=%d)", cfg.Delta),
+		Columns: []string{"all-stop", "not-all-stop", "speedup"},
+	}
+	type acc struct{ all, nas []float64 }
+	byClass := map[workload.Class]*acc{}
+	for _, cl := range classOrder {
+		byClass[cl] = &acc{}
+	}
+	for _, c := range coflows {
+		cs, err := core.RecoSin(c.Demand, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("notallstop: %w", err)
+		}
+		all, err := ocs.ExecAllStop(c.Demand, cs, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("notallstop: %w", err)
+		}
+		nas, err := ocs.ExecNotAllStop(c.Demand, cs, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("notallstop: %w", err)
+		}
+		a := byClass[workload.Classify(c.Demand)]
+		a.all = append(a.all, float64(all.CCT))
+		a.nas = append(a.nas, float64(nas.CCT))
+	}
+	for _, cl := range classOrder {
+		a := byClass[cl]
+		allMean, err := stats.Mean(a.all)
+		if err != nil {
+			continue
+		}
+		nasMean, _ := stats.Mean(a.nas)
+		t.AddRow(cl.String(), allMean, nasMean, stats.Ratio(allMean, nasMean))
+	}
+	return t, nil
+}

@@ -1,0 +1,146 @@
+// Package gantt renders flow-level and circuit schedules as ASCII time/port
+// charts — the debugging view for everything the schedulers produce. Each
+// ingress port is one row; time runs left to right in fixed-width buckets;
+// a cell shows which coflow (or which establishment) is transmitting.
+package gantt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"reco/internal/ocs"
+	"reco/internal/schedule"
+)
+
+// ErrBadWidth reports a non-positive chart width.
+var ErrBadWidth = errors.New("gantt: width must be positive")
+
+// symbols are the per-coflow cell glyphs; coflows beyond the alphabet wrap.
+const symbols = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+// RenderFlows draws a flow schedule on an n-port fabric as one row per
+// ingress port, width columns wide. A letter identifies the coflow
+// transmitting on the port in that time bucket; '.' is idle; '*' marks a
+// bucket where more than one interval touches the port (which a valid
+// schedule only produces when two intervals share one bucket boundary).
+func RenderFlows(s schedule.FlowSchedule, n, width int) (string, error) {
+	if width <= 0 {
+		return "", fmt.Errorf("%w: %d", ErrBadWidth, width)
+	}
+	makespan := s.Makespan()
+	if makespan == 0 {
+		return "(empty schedule)\n", nil
+	}
+	grid := make([][]byte, n)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", width))
+	}
+	bucket := func(t int64) int {
+		b := int(t * int64(width) / makespan)
+		if b >= width {
+			b = width - 1
+		}
+		return b
+	}
+	for _, f := range s {
+		if f.In < 0 || f.In >= n {
+			return "", fmt.Errorf("gantt: interval uses ingress %d outside fabric of %d", f.In, n)
+		}
+		sym := symbols[f.Coflow%len(symbols)]
+		lo, hi := bucket(f.Start), bucket(f.End-1)
+		for b := lo; b <= hi; b++ {
+			switch grid[f.In][b] {
+			case '.':
+				grid[f.In][b] = sym
+			case sym:
+			default:
+				grid[f.In][b] = '*'
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 .. %d ticks, %d ticks/column\n", makespan, (makespan+int64(width)-1)/int64(width))
+	for i, row := range grid {
+		fmt.Fprintf(&b, "in%-3d |%s|\n", i, row)
+	}
+	return b.String(), nil
+}
+
+// RenderCircuits draws a circuit schedule executed against nothing: each
+// establishment is one column group sized by its duration, with the digit
+// of the egress port each ingress connects to ('.' when idle, '#' for the
+// reconfiguration gap). Establishment durations are scaled to the width.
+func RenderCircuits(cs ocs.CircuitSchedule, n, width int, delta int64) (string, error) {
+	if width <= 0 {
+		return "", fmt.Errorf("%w: %d", ErrBadWidth, width)
+	}
+	if err := cs.Validate(n); err != nil {
+		return "", err
+	}
+	if len(cs) == 0 {
+		return "(empty schedule)\n", nil
+	}
+	var total int64
+	for _, a := range cs {
+		total += a.Dur + delta
+	}
+	var rows []strings.Builder
+	rows = make([]strings.Builder, n)
+	for _, a := range cs {
+		gapCols := scaleCols(delta, total, width)
+		durCols := scaleCols(a.Dur, total, width)
+		for i := 0; i < n; i++ {
+			rows[i].WriteString(strings.Repeat("#", gapCols))
+			cell := "."
+			if a.Perm[i] != -1 {
+				cell = egressGlyph(a.Perm[i])
+			}
+			rows[i].WriteString(strings.Repeat(cell, durCols))
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d establishments, total %d ticks ('#' = reconfiguration)\n", len(cs), total)
+	for i := range rows {
+		fmt.Fprintf(&b, "in%-3d |%s|\n", i, rows[i].String())
+	}
+	return b.String(), nil
+}
+
+func scaleCols(dur, total int64, width int) int {
+	if total == 0 {
+		return 1
+	}
+	c := int(dur * int64(width) / total)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+func egressGlyph(j int) string {
+	return string(symbols[j%len(symbols)])
+}
+
+// Legend returns the coflow-to-glyph mapping for the coflows present in s,
+// sorted by coflow index.
+func Legend(s schedule.FlowSchedule) string {
+	seen := map[int]bool{}
+	for _, f := range s {
+		seen[f.Coflow] = true
+	}
+	ids := make([]int, 0, len(seen))
+	for k := range seen {
+		ids = append(ids, k)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, k := range ids {
+		fmt.Fprintf(&b, "%c=coflow %d  ", symbols[k%len(symbols)], k)
+	}
+	if b.Len() > 0 {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,354 @@
+// Package lp is a self-contained linear-programming solver: a dense
+// two-phase primal simplex with Dantzig pricing and a Bland anti-cycling
+// fallback. It replaces the commercial solver (GUROBI) the paper's simulator
+// embeds; the LP-II-GB baseline is its only production client, so the
+// implementation favors clarity and exactness over large-scale performance.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	LE Op = iota + 1 // Σ aᵢxᵢ ≤ b
+	GE               // Σ aᵢxᵢ ≥ b
+	EQ               // Σ aᵢxᵢ = b
+)
+
+// ErrInfeasible reports that the constraint set has no solution.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded reports that the objective can decrease without bound.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+// ErrIterationLimit reports that the simplex failed to converge within the
+// iteration budget, which indicates a degenerate cycling pathology.
+var ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+
+const eps = 1e-9
+
+// Problem is a minimization LP over non-negative variables:
+// minimize c·x subject to the added constraints and x ≥ 0.
+type Problem struct {
+	costs []float64
+	cons  []constraint
+}
+
+type constraint struct {
+	coeffs map[int]float64
+	op     Op
+	rhs    float64
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVariable appends a variable with the given objective cost and returns
+// its index.
+func (p *Problem) AddVariable(cost float64) int {
+	p.costs = append(p.costs, cost)
+	return len(p.costs) - 1
+}
+
+// NumVariables returns the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.costs) }
+
+// AddConstraint adds Σ terms[i]·xᵢ (op) rhs. Variable indices must already
+// exist. The terms map is copied.
+func (p *Problem) AddConstraint(terms map[int]float64, op Op, rhs float64) error {
+	if op != LE && op != GE && op != EQ {
+		return fmt.Errorf("lp: unknown op %d", op)
+	}
+	c := constraint{coeffs: make(map[int]float64, len(terms)), op: op, rhs: rhs}
+	for idx, v := range terms {
+		if idx < 0 || idx >= len(p.costs) {
+			return fmt.Errorf("lp: constraint references unknown variable %d", idx)
+		}
+		if v != 0 {
+			c.coeffs[idx] = v
+		}
+	}
+	p.cons = append(p.cons, c)
+	return nil
+}
+
+// Solution is an optimal basic feasible solution.
+type Solution struct {
+	X         []float64
+	Objective float64
+}
+
+// Solve runs the two-phase simplex and returns an optimal solution, or
+// ErrInfeasible / ErrUnbounded / ErrIterationLimit.
+func (p *Problem) Solve() (*Solution, error) {
+	n := len(p.costs)
+	m := len(p.cons)
+	if m == 0 {
+		// Unconstrained: optimum is x = 0 unless some cost is negative, in
+		// which case that variable is unbounded below.
+		for _, c := range p.costs {
+			if c < -eps {
+				return nil, ErrUnbounded
+			}
+		}
+		return &Solution{X: make([]float64, n)}, nil
+	}
+
+	// Assemble the standard form: for each constraint (with rhs made
+	// non-negative) add a slack, surplus and/or artificial column.
+	type colKind int
+	const (
+		kindVar colKind = iota
+		kindSlack
+		kindArtificial
+	)
+	var kinds []colKind
+	total := n
+	kinds = make([]colKind, n)
+	slackCol := make([]int, m) // -1 if none
+	artifCol := make([]int, m) // -1 if none
+	sign := make([]float64, m) // row multiplier applied to make rhs >= 0
+	ops := make([]Op, m)
+	for i, c := range p.cons {
+		sign[i] = 1
+		ops[i] = c.op
+		if c.rhs < 0 {
+			sign[i] = -1
+			switch c.op {
+			case LE:
+				ops[i] = GE
+			case GE:
+				ops[i] = LE
+			}
+		}
+		slackCol[i] = -1
+		artifCol[i] = -1
+		switch ops[i] {
+		case LE:
+			slackCol[i] = total
+			kinds = append(kinds, kindSlack)
+			total++
+		case GE:
+			slackCol[i] = total
+			kinds = append(kinds, kindSlack)
+			total++
+			artifCol[i] = total
+			kinds = append(kinds, kindArtificial)
+			total++
+		case EQ:
+			artifCol[i] = total
+			kinds = append(kinds, kindArtificial)
+			total++
+		}
+	}
+
+	// Tableau: m rows of [A | b]. The right-hand sides get a tiny
+	// row-dependent relative perturbation — the classical remedy against
+	// degenerate cycling and stalling; the induced objective error is below
+	// the solver's own tolerance for any practically sized problem.
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	for i, c := range p.cons {
+		row := make([]float64, total+1)
+		for idx, v := range c.coeffs {
+			row[idx] = sign[i] * v
+		}
+		row[total] = sign[i] * c.rhs * (1 + 1e-10*float64(i+1))
+		switch ops[i] {
+		case LE:
+			row[slackCol[i]] = 1
+			basis[i] = slackCol[i]
+		case GE:
+			row[slackCol[i]] = -1
+			row[artifCol[i]] = 1
+			basis[i] = artifCol[i]
+		case EQ:
+			row[artifCol[i]] = 1
+			basis[i] = artifCol[i]
+		}
+		tab[i] = row
+	}
+
+	t := &tableau{rows: tab, basis: basis, total: total}
+
+	// Phase 1: minimize the sum of artificial variables.
+	hasArtificial := false
+	phase1 := make([]float64, total)
+	for j, k := range kinds {
+		if k == kindArtificial {
+			phase1[j] = 1
+			hasArtificial = true
+		}
+	}
+	if hasArtificial {
+		obj, err := t.optimize(phase1)
+		if err != nil {
+			// Phase 1 is bounded below by 0, so ErrUnbounded cannot occur.
+			return nil, err
+		}
+		if obj > 1e-6 {
+			return nil, ErrInfeasible
+		}
+		// Pivot any artificial still in the basis out (degenerate rows), or
+		// verify its value is zero.
+		for i, b := range t.basis {
+			if kinds[b] != kindArtificial {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < total; j++ {
+				if kinds[j] != kindArtificial && math.Abs(t.rows[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted && math.Abs(t.rows[i][total]) > 1e-6 {
+				return nil, ErrInfeasible
+			}
+		}
+		// Forbid artificial columns from re-entering.
+		for i := range t.rows {
+			for j, k := range kinds {
+				if k == kindArtificial {
+					t.rows[i][j] = 0
+				}
+			}
+		}
+	}
+
+	// Phase 2: minimize the real objective.
+	phase2 := make([]float64, total)
+	copy(phase2, p.costs)
+	if hasArtificial {
+		for j, k := range kinds {
+			if k == kindArtificial {
+				phase2[j] = 0
+			}
+		}
+	}
+	obj, err := t.optimize(phase2)
+	if err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			x[b] = t.rows[i][total]
+		}
+	}
+	return &Solution{X: x, Objective: obj}, nil
+}
+
+type tableau struct {
+	rows  [][]float64 // m × (total+1), last column is RHS
+	basis []int
+	total int
+	// z is the maintained reduced-cost row during optimize; pivot updates
+	// it when non-nil (it is nil when artificials are driven out between
+	// phases).
+	z []float64
+}
+
+// optimize runs primal simplex iterations for the given cost vector on the
+// current basic feasible solution and returns the optimal objective value.
+func (t *tableau) optimize(costs []float64) (float64, error) {
+	m := len(t.rows)
+	// Reduced costs: z_j = c_j − c_B · B⁻¹A_j, maintained as an extra row.
+	z := make([]float64, t.total+1)
+	copy(z, costs)
+	for i, b := range t.basis {
+		cb := costs[b]
+		if cb == 0 {
+			continue
+		}
+		row := t.rows[i]
+		for j := 0; j <= t.total; j++ {
+			z[j] -= cb * row[j]
+		}
+	}
+	t.z = z
+	defer func() { t.z = nil }()
+
+	maxIter := 50 * (m + t.total)
+	if maxIter < 1000 {
+		maxIter = 1000
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering column: most negative reduced cost (Dantzig); switch to
+		// Bland's rule late to guarantee termination on degenerate problems.
+		bland := iter > maxIter/2
+		enter := -1
+		best := -eps
+		for j := 0; j < t.total; j++ {
+			if z[j] < best {
+				if bland {
+					enter = j
+					break
+				}
+				best = z[j]
+				enter = j
+			}
+		}
+		if enter == -1 {
+			return -z[t.total], nil
+		}
+		// Leaving row: min ratio test (Bland tie-break on basis index).
+		leave := -1
+		var ratio float64
+		for i := 0; i < m; i++ {
+			a := t.rows[i][enter]
+			if a <= eps {
+				continue
+			}
+			r := t.rows[i][t.total] / a
+			if leave == -1 || r < ratio-eps || (math.Abs(r-ratio) <= eps && t.basis[i] < t.basis[leave]) {
+				leave = i
+				ratio = r
+			}
+		}
+		if leave == -1 {
+			return 0, ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return 0, ErrIterationLimit
+}
+
+func (t *tableau) pivot(leave, enter int) {
+	prow := t.rows[leave]
+	pv := prow[enter]
+	inv := 1 / pv
+	for j := range prow {
+		prow[j] *= inv
+	}
+	for i := range t.rows {
+		if i == leave {
+			continue
+		}
+		f := t.rows[i][enter]
+		if f == 0 {
+			continue
+		}
+		row := t.rows[i]
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+	}
+	if t.z != nil {
+		f := t.z[enter]
+		if f != 0 {
+			for j := range t.z {
+				t.z[j] -= f * prow[j]
+			}
+		}
+	}
+	t.basis[leave] = enter
+}

@@ -1,0 +1,90 @@
+package matching
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"reco/internal/matrix"
+)
+
+// ErrNoPerfectMatching reports that the requested perfect matching does not
+// exist in the given support graph.
+var ErrNoPerfectMatching = errors.New("matching: no perfect matching")
+
+// PerfectAtLeast finds a perfect matching on the support graph of m that uses
+// only entries with value ≥ threshold. It returns the matching as perm
+// (perm[i] = matched column of row i) or ErrNoPerfectMatching. Solstice's
+// slicing step and the bottleneck search both reduce to this primitive.
+func PerfectAtLeast(m *matrix.Matrix, threshold int64) ([]int, error) {
+	n := m.N()
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := m.At(i, j); v > 0 && v >= threshold {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	perm, size := g.MaxMatching()
+	if size != n {
+		return nil, fmt.Errorf("%w: threshold %d matched only %d of %d", ErrNoPerfectMatching, threshold, size, n)
+	}
+	return perm, nil
+}
+
+// BottleneckPerfect finds the perfect matching of m's positive support whose
+// minimum entry is maximized — the "max–min matching" the paper uses to
+// extract Birkhoff–von Neumann terms efficiently (Sec. III-C, following
+// Solstice [7]). It returns the matching and its bottleneck value.
+//
+// The input must admit a perfect matching on its positive support (any
+// doubly stochastic matrix does, by Birkhoff's theorem); otherwise
+// ErrNoPerfectMatching is returned.
+func BottleneckPerfect(m *matrix.Matrix) ([]int, int64, error) {
+	n := m.N()
+	values := make([]int64, 0, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := m.At(i, j); v > 0 {
+				values = append(values, v)
+			}
+		}
+	}
+	if len(values) == 0 {
+		return nil, 0, fmt.Errorf("%w: empty support", ErrNoPerfectMatching)
+	}
+	sort.Slice(values, func(a, b int) bool { return values[a] < values[b] })
+	values = dedupSorted(values)
+
+	// Feasibility of "perfect matching with all entries ≥ t" is monotone
+	// non-increasing in t, so binary search the largest feasible threshold.
+	lo, hi := 0, len(values)-1
+	var best []int
+	var bestVal int64 = -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		perm, err := PerfectAtLeast(m, values[mid])
+		if err != nil {
+			hi = mid - 1
+			continue
+		}
+		best = perm
+		bestVal = values[mid]
+		lo = mid + 1
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("%w: support has no perfect matching", ErrNoPerfectMatching)
+	}
+	return best, bestVal, nil
+}
+
+func dedupSorted(vs []int64) []int64 {
+	out := vs[:1]
+	for _, v := range vs[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

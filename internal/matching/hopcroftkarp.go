@@ -1,0 +1,97 @@
+// Package matching provides the bipartite-matching algorithms every circuit
+// scheduler in this repository is built on: Hopcroft–Karp maximum-cardinality
+// matching, thresholded perfect matching, bottleneck (max–min) perfect
+// matching, and Hungarian maximum-weight perfect matching.
+//
+// All algorithms operate on balanced bipartite graphs whose left vertices are
+// the fabric's ingress ports and whose right vertices are its egress ports; a
+// matching is exactly a circuit establishment that respects the OCS port
+// constraint.
+package matching
+
+// Graph is a balanced bipartite graph on n left and n right vertices,
+// represented by adjacency lists of the left side.
+type Graph struct {
+	n   int
+	adj [][]int
+}
+
+// NewGraph returns an empty bipartite graph with n vertices on each side.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// AddEdge adds an edge between left vertex u and right vertex v.
+// Indices follow slice semantics: out-of-range values panic.
+func (g *Graph) AddEdge(u, v int) {
+	if v < 0 || v >= g.n {
+		panic("matching: right vertex out of range")
+	}
+	g.adj[u] = append(g.adj[u], v)
+}
+
+// infDist marks unreached vertices during the Hopcroft–Karp BFS phase.
+const infDist = int(^uint(0) >> 1)
+
+// MaxMatching computes a maximum-cardinality matching with the Hopcroft–Karp
+// algorithm in O(E·√V). It returns matchL, where matchL[u] is the right
+// vertex matched to left vertex u or −1, and the matching size.
+func (g *Graph) MaxMatching() (matchL []int, size int) {
+	matchL = make([]int, g.n)
+	matchR := make([]int, g.n)
+	for i := range matchL {
+		matchL[i] = -1
+		matchR[i] = -1
+	}
+	dist := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < g.n; u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = infDist
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.adj[u] {
+				w := matchR[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == infDist {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range g.adj[u] {
+			w := matchR[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = infDist
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < g.n; u++ {
+			if matchL[u] == -1 && dfs(u) {
+				size++
+			}
+		}
+	}
+	return matchL, size
+}

@@ -1,0 +1,83 @@
+package matching
+
+import (
+	"math"
+
+	"reco/internal/matrix"
+)
+
+// MaxWeightPerfect solves the assignment problem on the complete bipartite
+// graph with weights m.At(i,j), returning a perfect matching perm
+// (perm[i] = column assigned to row i) that maximizes the total weight, and
+// that total. It runs the O(n³) potential-based Hungarian algorithm.
+//
+// Helios- and c-Through-style circuit managers pick each slot's circuit
+// establishment with exactly this primitive (Edmonds-style maximum weighted
+// matching over buffered demand), so it is provided as a substrate for those
+// baselines and for tests that need an optimal matching oracle.
+func MaxWeightPerfect(m *matrix.Matrix) ([]int, int64) {
+	n := m.N()
+	// Convert to a min-cost assignment: cost = maxEntry − weight ≥ 0.
+	maxEntry := m.MaxEntry()
+	cost := func(i, j int) float64 { return float64(maxEntry - m.At(i, j)) }
+
+	// Standard Hungarian with 1-based dummy row/column 0.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row assigned to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	perm := make([]int, n)
+	var total int64
+	for j := 1; j <= n; j++ {
+		perm[p[j]-1] = j - 1
+		total += m.At(p[j]-1, j-1)
+	}
+	return perm, total
+}

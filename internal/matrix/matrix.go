@@ -1,0 +1,310 @@
+// Package matrix implements the square integer demand matrices that underlie
+// every scheduling algorithm in this repository.
+//
+// A demand matrix D has one row per ingress port and one column per egress
+// port of the switching fabric; entry D[i,j] is the time (in integer ticks)
+// needed to transmit all buffered data from ingress i to egress j at the
+// normalized circuit bandwidth. Integer ticks keep Birkhoff–von Neumann
+// decomposition and regularization exact: no floating-point residue is ever
+// produced.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrDimension reports a size mismatch or an invalid matrix dimension.
+var ErrDimension = errors.New("matrix: invalid dimension")
+
+// ErrNegative reports a negative demand entry, which no scheduling model in
+// this repository accepts.
+var ErrNegative = errors.New("matrix: negative entry")
+
+// Matrix is a dense square matrix of non-negative int64 demands.
+//
+// The zero value is not usable; construct matrices with New or FromRows.
+// Methods with index arguments follow slice semantics: out-of-range indices
+// panic, as they indicate a programmer error rather than bad input data.
+type Matrix struct {
+	n     int
+	cells []int64
+}
+
+// New returns an n×n all-zero matrix.
+func New(n int) (*Matrix, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrDimension, n)
+	}
+	return &Matrix{n: n, cells: make([]int64, n*n)}, nil
+}
+
+// FromRows builds a matrix from row slices. All rows must have length equal
+// to the number of rows, and every entry must be non-negative.
+func FromRows(rows [][]int64) (*Matrix, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty row set", ErrDimension)
+	}
+	m, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range rows {
+		if len(row) != n {
+			return nil, fmt.Errorf("%w: row %d has %d entries, want %d", ErrDimension, i, len(row), n)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("%w: entry (%d,%d)=%d", ErrNegative, i, j, v)
+			}
+			m.cells[i*n+j] = v
+		}
+	}
+	return m, nil
+}
+
+// N returns the matrix dimension.
+func (m *Matrix) N() int { return m.n }
+
+// At returns entry (i, j).
+func (m *Matrix) At(i, j int) int64 { return m.cells[i*m.n+j] }
+
+// Set overwrites entry (i, j) with v.
+func (m *Matrix) Set(i, j int, v int64) { m.cells[i*m.n+j] = v }
+
+// Add adds v to entry (i, j).
+func (m *Matrix) Add(i, j int, v int64) { m.cells[i*m.n+j] += v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{n: m.n, cells: make([]int64, len(m.cells))}
+	copy(c.cells, m.cells)
+	return c
+}
+
+// RowSums returns the sum of each row.
+func (m *Matrix) RowSums() []int64 {
+	sums := make([]int64, m.n)
+	for i := 0; i < m.n; i++ {
+		var s int64
+		row := m.cells[i*m.n : (i+1)*m.n]
+		for _, v := range row {
+			s += v
+		}
+		sums[i] = s
+	}
+	return sums
+}
+
+// ColSums returns the sum of each column.
+func (m *Matrix) ColSums() []int64 {
+	sums := make([]int64, m.n)
+	for i := 0; i < m.n; i++ {
+		row := m.cells[i*m.n : (i+1)*m.n]
+		for j, v := range row {
+			sums[j] += v
+		}
+	}
+	return sums
+}
+
+// MaxRowColSum returns ρ, the maximum over all row sums and column sums.
+// ρ lower-bounds the transmission time of any schedule that satisfies m,
+// because each port moves at most one unit of demand per tick.
+func (m *Matrix) MaxRowColSum() int64 {
+	var rho int64
+	for _, s := range m.RowSums() {
+		if s > rho {
+			rho = s
+		}
+	}
+	for _, s := range m.ColSums() {
+		if s > rho {
+			rho = s
+		}
+	}
+	return rho
+}
+
+// MaxRowColNonZeros returns τ, the maximum number of non-zero entries in any
+// single row or column. Any valid circuit schedule needs at least τ distinct
+// circuit establishments, so τ·δ lower-bounds total reconfiguration delay.
+func (m *Matrix) MaxRowColNonZeros() int {
+	rowCnt := make([]int, m.n)
+	colCnt := make([]int, m.n)
+	for i := 0; i < m.n; i++ {
+		row := m.cells[i*m.n : (i+1)*m.n]
+		for j, v := range row {
+			if v > 0 {
+				rowCnt[i]++
+				colCnt[j]++
+			}
+		}
+	}
+	tau := 0
+	for i := 0; i < m.n; i++ {
+		if rowCnt[i] > tau {
+			tau = rowCnt[i]
+		}
+		if colCnt[i] > tau {
+			tau = colCnt[i]
+		}
+	}
+	return tau
+}
+
+// NonZeros returns the number of strictly positive entries.
+func (m *Matrix) NonZeros() int {
+	cnt := 0
+	for _, v := range m.cells {
+		if v > 0 {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// Density returns NonZeros / N², the fabric-wide density used to classify
+// coflows into the paper's sparse / normal / dense classes.
+func (m *Matrix) Density() float64 {
+	return float64(m.NonZeros()) / float64(m.n*m.n)
+}
+
+// Total returns the sum of all entries.
+func (m *Matrix) Total() int64 {
+	var s int64
+	for _, v := range m.cells {
+		s += v
+	}
+	return s
+}
+
+// MaxEntry returns the largest entry.
+func (m *Matrix) MaxEntry() int64 {
+	var mx int64
+	for _, v := range m.cells {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// MinPositive returns the smallest strictly positive entry, or 0 if the
+// matrix is all-zero.
+func (m *Matrix) MinPositive() int64 {
+	var mn int64
+	for _, v := range m.cells {
+		if v > 0 && (mn == 0 || v < mn) {
+			mn = v
+		}
+	}
+	return mn
+}
+
+// IsZero reports whether every entry is zero.
+func (m *Matrix) IsZero() bool {
+	for _, v := range m.cells {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// HasNegative reports whether any entry is negative. Scheduling code uses it
+// as a cheap invariant check after subtracting permutation matrices.
+func (m *Matrix) HasNegative() bool {
+	for _, v := range m.cells {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether m and o have identical dimension and entries.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if o == nil || m.n != o.n {
+		return false
+	}
+	for i, v := range m.cells {
+		if o.cells[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// DoublyStochasticValue returns the common row/column sum if m is doubly
+// stochastic in the generalized sense used by Birkhoff's theorem (all row
+// sums and all column sums equal one constant), and reports whether it is.
+func (m *Matrix) DoublyStochasticValue() (int64, bool) {
+	rows := m.RowSums()
+	cols := m.ColSums()
+	want := rows[0]
+	for _, s := range rows {
+		if s != want {
+			return 0, false
+		}
+	}
+	for _, s := range cols {
+		if s != want {
+			return 0, false
+		}
+	}
+	return want, true
+}
+
+// Sub subtracts o from m in place. It returns ErrNegative if any resulting
+// entry would be negative, leaving m partially modified only on error paths
+// that the caller should treat as fatal.
+func (m *Matrix) Sub(o *Matrix) error {
+	if o.n != m.n {
+		return fmt.Errorf("%w: %d vs %d", ErrDimension, m.n, o.n)
+	}
+	for i, v := range o.cells {
+		m.cells[i] -= v
+		if m.cells[i] < 0 {
+			return fmt.Errorf("%w: index %d", ErrNegative, i)
+		}
+	}
+	return nil
+}
+
+// Sum returns the entrywise sum of the given matrices, which must all share
+// one dimension. It is used to aggregate the demand of a coflow group.
+func Sum(ms []*Matrix) (*Matrix, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("%w: no matrices", ErrDimension)
+	}
+	out := ms[0].Clone()
+	for _, m := range ms[1:] {
+		if m.n != out.n {
+			return nil, fmt.Errorf("%w: %d vs %d", ErrDimension, out.n, m.n)
+		}
+		for i, v := range m.cells {
+			out.cells[i] += v
+		}
+	}
+	return out, nil
+}
+
+// String renders the matrix as rows of space-separated integers, mainly for
+// tests and debugging output.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(strconv.FormatInt(m.At(i, j), 10))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

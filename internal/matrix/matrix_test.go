@@ -1,0 +1,301 @@
+package matrix
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustFromRows(t *testing.T, rows [][]int64) *Matrix {
+	t.Helper()
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	return m
+}
+
+func TestNewRejectsBadDimension(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		if _, err := New(n); !errors.Is(err, ErrDimension) {
+			t.Errorf("New(%d): got err %v, want ErrDimension", n, err)
+		}
+	}
+}
+
+func TestFromRowsValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		rows    [][]int64
+		wantErr error
+	}{
+		{"empty", nil, ErrDimension},
+		{"ragged", [][]int64{{1, 2}, {3}}, ErrDimension},
+		{"nonsquare", [][]int64{{1, 2, 3}, {4, 5, 6}}, ErrDimension},
+		{"negative", [][]int64{{1, -2}, {3, 4}}, ErrNegative},
+		{"ok", [][]int64{{1, 2}, {3, 4}}, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := FromRows(tt.rows)
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("got err %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	m := mustFromRows(t, [][]int64{
+		{4, 0, 2},
+		{0, 5, 0},
+		{1, 0, 3},
+	})
+	if got := m.N(); got != 3 {
+		t.Errorf("N = %d, want 3", got)
+	}
+	if got := m.At(0, 2); got != 2 {
+		t.Errorf("At(0,2) = %d, want 2", got)
+	}
+	m.Set(1, 0, 7)
+	m.Add(1, 0, 1)
+	if got := m.At(1, 0); got != 8 {
+		t.Errorf("after Set+Add, At(1,0) = %d, want 8", got)
+	}
+}
+
+func TestSums(t *testing.T) {
+	m := mustFromRows(t, [][]int64{
+		{4, 0, 2},
+		{0, 5, 0},
+		{1, 0, 3},
+	})
+	wantRows := []int64{6, 5, 4}
+	wantCols := []int64{5, 5, 5}
+	for i, s := range m.RowSums() {
+		if s != wantRows[i] {
+			t.Errorf("row %d sum = %d, want %d", i, s, wantRows[i])
+		}
+	}
+	for j, s := range m.ColSums() {
+		if s != wantCols[j] {
+			t.Errorf("col %d sum = %d, want %d", j, s, wantCols[j])
+		}
+	}
+	if got := m.MaxRowColSum(); got != 6 {
+		t.Errorf("rho = %d, want 6", got)
+	}
+	if got := m.MaxRowColNonZeros(); got != 2 {
+		t.Errorf("tau = %d, want 2", got)
+	}
+}
+
+func TestScalarProperties(t *testing.T) {
+	m := mustFromRows(t, [][]int64{
+		{4, 0},
+		{0, 3},
+	})
+	if got := m.NonZeros(); got != 2 {
+		t.Errorf("NonZeros = %d, want 2", got)
+	}
+	if got := m.Density(); got != 0.5 {
+		t.Errorf("Density = %v, want 0.5", got)
+	}
+	if got := m.Total(); got != 7 {
+		t.Errorf("Total = %d, want 7", got)
+	}
+	if got := m.MaxEntry(); got != 4 {
+		t.Errorf("MaxEntry = %d, want 4", got)
+	}
+	if got := m.MinPositive(); got != 3 {
+		t.Errorf("MinPositive = %d, want 3", got)
+	}
+	if m.IsZero() {
+		t.Error("IsZero = true for non-zero matrix")
+	}
+	z, _ := New(2)
+	if !z.IsZero() {
+		t.Error("IsZero = false for zero matrix")
+	}
+	if z.MinPositive() != 0 {
+		t.Error("MinPositive of zero matrix should be 0")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := mustFromRows(t, [][]int64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with the original")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Error("matrix not Equal to its own clone")
+	}
+	if m.Equal(c) {
+		t.Error("modified clone still Equal to original")
+	}
+	if m.Equal(nil) {
+		t.Error("Equal(nil) should be false")
+	}
+}
+
+func TestDoublyStochasticValue(t *testing.T) {
+	ds := mustFromRows(t, [][]int64{
+		{3, 2},
+		{2, 3},
+	})
+	v, ok := ds.DoublyStochasticValue()
+	if !ok || v != 5 {
+		t.Errorf("DoublyStochasticValue = (%d,%v), want (5,true)", v, ok)
+	}
+	not := mustFromRows(t, [][]int64{
+		{3, 2},
+		{2, 4},
+	})
+	if _, ok := not.DoublyStochasticValue(); ok {
+		t.Error("non-DS matrix reported as doubly stochastic")
+	}
+}
+
+func TestSub(t *testing.T) {
+	m := mustFromRows(t, [][]int64{{5, 2}, {1, 4}})
+	o := mustFromRows(t, [][]int64{{1, 2}, {0, 4}})
+	if err := m.Sub(o); err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	want := mustFromRows(t, [][]int64{{4, 0}, {1, 0}})
+	if !m.Equal(want) {
+		t.Errorf("Sub result:\n%vwant:\n%v", m, want)
+	}
+
+	under := mustFromRows(t, [][]int64{{1}})
+	big := mustFromRows(t, [][]int64{{2}})
+	if err := under.Sub(big); !errors.Is(err, ErrNegative) {
+		t.Errorf("underflow Sub err = %v, want ErrNegative", err)
+	}
+	a := mustFromRows(t, [][]int64{{1}})
+	b := mustFromRows(t, [][]int64{{1, 0}, {0, 1}})
+	if err := a.Sub(b); !errors.Is(err, ErrDimension) {
+		t.Errorf("mismatched Sub err = %v, want ErrDimension", err)
+	}
+}
+
+func TestSum(t *testing.T) {
+	a := mustFromRows(t, [][]int64{{1, 0}, {0, 1}})
+	b := mustFromRows(t, [][]int64{{0, 2}, {3, 0}})
+	s, err := Sum([]*Matrix{a, b})
+	if err != nil {
+		t.Fatalf("Sum: %v", err)
+	}
+	want := mustFromRows(t, [][]int64{{1, 2}, {3, 1}})
+	if !s.Equal(want) {
+		t.Errorf("Sum:\n%vwant:\n%v", s, want)
+	}
+	if _, err := Sum(nil); !errors.Is(err, ErrDimension) {
+		t.Errorf("Sum(nil) err = %v, want ErrDimension", err)
+	}
+	c := mustFromRows(t, [][]int64{{1}})
+	if _, err := Sum([]*Matrix{a, c}); !errors.Is(err, ErrDimension) {
+		t.Errorf("mismatched Sum err = %v, want ErrDimension", err)
+	}
+}
+
+func TestString(t *testing.T) {
+	m := mustFromRows(t, [][]int64{{1, 2}, {3, 4}})
+	if got, want := m.String(), "1 2\n3 4\n"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, n int, maxVal int64, fill float64) *Matrix {
+	m, _ := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < fill {
+				m.Set(i, j, 1+rng.Int63n(maxVal))
+			}
+		}
+	}
+	return m
+}
+
+func checkStuffed(t *testing.T, name string, orig, stuffed *Matrix) {
+	t.Helper()
+	rho := orig.MaxRowColSum()
+	v, ok := stuffed.DoublyStochasticValue()
+	if !ok {
+		t.Fatalf("%s: result is not doubly stochastic", name)
+	}
+	if v != rho {
+		t.Fatalf("%s: DS value = %d, want rho = %d", name, v, rho)
+	}
+	for i := 0; i < orig.N(); i++ {
+		for j := 0; j < orig.N(); j++ {
+			if stuffed.At(i, j) < orig.At(i, j) {
+				t.Fatalf("%s: stuffing decreased entry (%d,%d)", name, i, j)
+			}
+		}
+	}
+}
+
+func TestStuffVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		m := randomMatrix(rng, n, 1000, 0.4)
+		if m.IsZero() {
+			m.Set(0, 0, 5)
+		}
+		checkStuffed(t, "Stuff", m, Stuff(m))
+		checkStuffed(t, "StuffPreferNonZero", m, StuffPreferNonZero(m))
+	}
+}
+
+func TestStuffPreferNonZeroKeepsSupportSmall(t *testing.T) {
+	// One heavy row: balanced stuffing must add entries somewhere, but the
+	// prefer-non-zero variant should top up the existing support first.
+	m := mustFromRows(t, [][]int64{
+		{10, 10, 10},
+		{5, 0, 0},
+		{0, 5, 0},
+	})
+	plain := Stuff(m)
+	pref := StuffPreferNonZero(m)
+	if pref.NonZeros() > plain.NonZeros() {
+		t.Errorf("prefer-non-zero support %d > balanced support %d", pref.NonZeros(), plain.NonZeros())
+	}
+	checkStuffed(t, "pref", m, pref)
+}
+
+func TestStuffTo(t *testing.T) {
+	m := mustFromRows(t, [][]int64{{3, 0}, {0, 1}})
+	s, ok := StuffTo(m, 10)
+	if !ok {
+		t.Fatal("StuffTo(10) failed")
+	}
+	if v, dsOK := s.DoublyStochasticValue(); !dsOK || v != 10 {
+		t.Errorf("StuffTo value = %d,%v, want 10,true", v, dsOK)
+	}
+	if _, ok := StuffTo(m, 2); ok {
+		t.Error("StuffTo below rho should fail")
+	}
+}
+
+func TestStuffProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		m := randomMatrix(rng, n, 500, 0.5)
+		if m.IsZero() {
+			m.Set(0, 0, 1)
+		}
+		s := StuffPreferNonZero(m)
+		v, ok := s.DoublyStochasticValue()
+		return ok && v == m.MaxRowColSum() && !s.HasNegative()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

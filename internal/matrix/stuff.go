@@ -1,0 +1,88 @@
+package matrix
+
+// Stuff returns a doubly stochastic copy of m: extra demand is added until
+// every row sum and every column sum equals ρ, the maximum row/column sum of
+// the input ("stuffing", Sec. III-A of the paper). The balanced strategy
+// pairs deficient rows with deficient columns greedily, adding at most
+// 2N−1 new entries.
+//
+// Because stuffing only increases entries, any circuit schedule that
+// satisfies the stuffed matrix also satisfies the original demand.
+func Stuff(m *Matrix) *Matrix {
+	out := m.Clone()
+	stuffTo(out, out.MaxRowColSum(), false)
+	return out
+}
+
+// StuffPreferNonZero is the Solstice-style QuickStuff variant: before
+// creating any new non-zero entry it first tops up entries that are already
+// non-zero, so the stuffed matrix's support (and hence the number of
+// circuits a schedule must establish) grows as little as possible.
+func StuffPreferNonZero(m *Matrix) *Matrix {
+	out := m.Clone()
+	stuffTo(out, out.MaxRowColSum(), true)
+	return out
+}
+
+// StuffTo stuffs m up to the given target row/column sum, which must be at
+// least ρ; it returns nil and false if target is too small. Reco-Sin uses it
+// because regularization can make the post-rounding ρ' exceed the original ρ.
+func StuffTo(m *Matrix, target int64) (*Matrix, bool) {
+	if target < m.MaxRowColSum() {
+		return nil, false
+	}
+	out := m.Clone()
+	stuffTo(out, target, true)
+	return out, true
+}
+
+func stuffTo(m *Matrix, target int64, preferNonZero bool) {
+	rowDef := m.RowSums()
+	colDef := m.ColSums()
+	for i := range rowDef {
+		rowDef[i] = target - rowDef[i]
+		colDef[i] = target - colDef[i]
+	}
+
+	if preferNonZero {
+		// First pass: absorb deficit into existing non-zero entries so the
+		// support does not grow.
+		for i := 0; i < m.n; i++ {
+			if rowDef[i] == 0 {
+				continue
+			}
+			for j := 0; j < m.n && rowDef[i] > 0; j++ {
+				if m.At(i, j) == 0 || colDef[j] == 0 {
+					continue
+				}
+				add := min64(rowDef[i], colDef[j])
+				m.Add(i, j, add)
+				rowDef[i] -= add
+				colDef[j] -= add
+			}
+		}
+	}
+
+	// Second pass: pair remaining deficient rows and columns arbitrarily.
+	// Total row deficit equals total column deficit, so this terminates with
+	// all deficits zero after at most 2N−1 additions.
+	j := 0
+	for i := 0; i < m.n; i++ {
+		for rowDef[i] > 0 {
+			for colDef[j] == 0 {
+				j++
+			}
+			add := min64(rowDef[i], colDef[j])
+			m.Add(i, j, add)
+			rowDef[i] -= add
+			colDef[j] -= add
+		}
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

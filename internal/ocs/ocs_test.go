@@ -1,0 +1,294 @@
+package ocs
+
+import (
+	"errors"
+	"testing"
+
+	"reco/internal/matrix"
+)
+
+func mustMatrix(t *testing.T, rows [][]int64) *matrix.Matrix {
+	t.Helper()
+	m, err := matrix.FromRows(rows)
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	return m
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		a    Assignment
+		n    int
+		ok   bool
+	}{
+		{"full perm", Assignment{Perm: []int{1, 0}, Dur: 5}, 2, true},
+		{"partial perm", Assignment{Perm: []int{-1, 0}, Dur: 5}, 2, true},
+		{"wrong len", Assignment{Perm: []int{0}, Dur: 5}, 2, false},
+		{"zero dur", Assignment{Perm: []int{0, 1}, Dur: 0}, 2, false},
+		{"egress twice", Assignment{Perm: []int{0, 0}, Dur: 5}, 2, false},
+		{"egress out of range", Assignment{Perm: []int{0, 2}, Dur: 5}, 2, false},
+		{"egress negative", Assignment{Perm: []int{0, -2}, Dur: 5}, 2, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.a.Validate(tt.n)
+			if tt.ok && err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+			if !tt.ok && !errors.Is(err, ErrInvalidAssignment) {
+				t.Errorf("got %v, want ErrInvalidAssignment", err)
+			}
+		})
+	}
+}
+
+func TestExecAllStopPaperExample(t *testing.T) {
+	// Fig. 2: D'_ex (all entries regularized to 200) is served by three
+	// full permutations of duration 200 each; with delta=100 the actual
+	// completion is (106+109+103) + 3*100 = 618, because each establishment
+	// ends when its slowest circuit drains the *original* demand.
+	d := mustMatrix(t, [][]int64{
+		{104, 109, 102},
+		{103, 105, 107},
+		{108, 101, 106},
+	})
+	cs := CircuitSchedule{
+		{Perm: []int{0, 1, 2}, Dur: 200}, // diag: 104,105,106 -> max 106
+		{Perm: []int{1, 2, 0}, Dur: 200}, // 109,107,108 -> max 109
+		{Perm: []int{2, 0, 1}, Dur: 200}, // 102,103,101 -> max 103
+	}
+	res, err := ExecAllStop(d, cs, 100)
+	if err != nil {
+		t.Fatalf("ExecAllStop: %v", err)
+	}
+	if res.CCT != 618 {
+		t.Errorf("CCT = %d, want 618", res.CCT)
+	}
+	if res.Reconfigs != 3 {
+		t.Errorf("Reconfigs = %d, want 3", res.Reconfigs)
+	}
+	if res.ConfTime != 300 || res.TransTime != 318 {
+		t.Errorf("ConfTime,TransTime = %d,%d, want 300,318", res.ConfTime, res.TransTime)
+	}
+	if err := res.Flows.Validate(3, 1); err != nil {
+		t.Errorf("flow schedule invalid: %v", err)
+	}
+	if err := res.Flows.CheckDemand([]*matrix.Matrix{d}); err != nil {
+		t.Errorf("demand not satisfied: %v", err)
+	}
+}
+
+func TestExecAllStopSkipsDrainedAssignments(t *testing.T) {
+	d := mustMatrix(t, [][]int64{
+		{5, 0},
+		{0, 5},
+	})
+	cs := CircuitSchedule{
+		{Perm: []int{0, 1}, Dur: 10}, // drains everything in 5 ticks
+		{Perm: []int{1, 0}, Dur: 10}, // nothing to send: must be skipped
+		{Perm: []int{0, 1}, Dur: 10}, // nothing to send: must be skipped
+	}
+	res, err := ExecAllStop(d, cs, 3)
+	if err != nil {
+		t.Fatalf("ExecAllStop: %v", err)
+	}
+	if res.Reconfigs != 1 {
+		t.Errorf("Reconfigs = %d, want 1 (drained assignments must not reconfigure)", res.Reconfigs)
+	}
+	if res.CCT != 8 {
+		t.Errorf("CCT = %d, want 8 (3 reconfig + 5 transmission)", res.CCT)
+	}
+}
+
+func TestExecAllStopPartialPermAndIdleCircuits(t *testing.T) {
+	d := mustMatrix(t, [][]int64{
+		{4, 0},
+		{0, 9},
+	})
+	cs := CircuitSchedule{
+		{Perm: []int{0, -1}, Dur: 4},
+		{Perm: []int{-1, 1}, Dur: 9},
+	}
+	res, err := ExecAllStop(d, cs, 2)
+	if err != nil {
+		t.Fatalf("ExecAllStop: %v", err)
+	}
+	if res.CCT != 2+4+2+9 {
+		t.Errorf("CCT = %d, want 17", res.CCT)
+	}
+}
+
+func TestExecAllStopIncomplete(t *testing.T) {
+	d := mustMatrix(t, [][]int64{{10}})
+	cs := CircuitSchedule{{Perm: []int{0}, Dur: 4}}
+	res, err := ExecAllStop(d, cs, 1)
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v, want ErrIncomplete", err)
+	}
+	if res.CCT != 5 {
+		t.Errorf("partial CCT = %d, want 5", res.CCT)
+	}
+}
+
+func TestExecAllStopRejectsBadInput(t *testing.T) {
+	d := mustMatrix(t, [][]int64{{1}})
+	if _, err := ExecAllStop(d, CircuitSchedule{{Perm: []int{0, 1}, Dur: 1}}, 1); !errors.Is(err, ErrInvalidAssignment) {
+		t.Errorf("bad perm: err = %v", err)
+	}
+	if _, err := ExecAllStop(d, CircuitSchedule{{Perm: []int{0}, Dur: 1}}, -1); !errors.Is(err, ErrInvalidAssignment) {
+		t.Errorf("negative delta: err = %v", err)
+	}
+}
+
+func TestExecNotAllStopCarriedCircuits(t *testing.T) {
+	// Ingress 0 keeps its circuit to egress 0 across the transition, so it
+	// transmits through the reconfiguration window; ingress 1 changes.
+	d := mustMatrix(t, [][]int64{
+		{20, 0},
+		{5, 5},
+	})
+	cs := CircuitSchedule{
+		{Perm: []int{0, 1}, Dur: 5},   // sends (0,0):5, (1,1):5
+		{Perm: []int{0, -1}, Dur: 20}, // carried circuit (0,0)
+		{Perm: []int{-1, 0}, Dur: 5},  // changed circuit (1,0)
+	}
+	res, err := ExecNotAllStop(d, cs, 10)
+	if err != nil {
+		t.Fatalf("ExecNotAllStop: %v", err)
+	}
+	// Window 1: reconfig 10 + 5 = ends at 15. Window 2: (0,0) carried, no
+	// lag for it, but the window itself has no changed active circuit =>
+	// lag 0, sends remaining 15 -> ends at 30. Window 3: reconfig 10 + 5.
+	if res.Reconfigs != 2 {
+		t.Errorf("Reconfigs = %d, want 2", res.Reconfigs)
+	}
+	if res.CCT != 45 {
+		t.Errorf("CCT = %d, want 45", res.CCT)
+	}
+	if err := res.Flows.CheckDemand([]*matrix.Matrix{d}); err != nil {
+		t.Errorf("demand not satisfied: %v", err)
+	}
+	if err := res.Flows.Validate(2, 1); err != nil {
+		t.Errorf("flow schedule invalid: %v", err)
+	}
+}
+
+func TestNotAllStopNeverSlowerThanAllStop(t *testing.T) {
+	d := mustMatrix(t, [][]int64{
+		{7, 3, 0},
+		{0, 7, 3},
+		{3, 0, 7},
+	})
+	cs := CircuitSchedule{
+		{Perm: []int{0, 1, 2}, Dur: 7},
+		{Perm: []int{1, 2, 0}, Dur: 3},
+	}
+	all, err := ExecAllStop(d, cs, 50)
+	if err != nil {
+		t.Fatalf("all-stop: %v", err)
+	}
+	nas, err := ExecNotAllStop(d, cs, 50)
+	if err != nil {
+		t.Fatalf("not-all-stop: %v", err)
+	}
+	if nas.CCT > all.CCT {
+		t.Errorf("not-all-stop CCT %d > all-stop %d", nas.CCT, all.CCT)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	d := mustMatrix(t, [][]int64{
+		{4, 0, 2},
+		{0, 5, 0},
+		{1, 0, 3},
+	})
+	// rho = 6 (row 0), tau = 2.
+	if got := LowerBound(d, 10); got != 26 {
+		t.Errorf("LowerBound = %d, want 26", got)
+	}
+}
+
+func TestExecSequential(t *testing.T) {
+	d0 := mustMatrix(t, [][]int64{{6, 0}, {0, 6}})
+	d1 := mustMatrix(t, [][]int64{{0, 4}, {4, 0}})
+	s0 := CircuitSchedule{{Perm: []int{0, 1}, Dur: 6}}
+	s1 := CircuitSchedule{{Perm: []int{1, 0}, Dur: 4}}
+	res, err := ExecSequential([]*matrix.Matrix{d0, d1}, []CircuitSchedule{s0, s1}, []int{1, 0}, 2)
+	if err != nil {
+		t.Fatalf("ExecSequential: %v", err)
+	}
+	// Coflow 1 first: 2+4 = 6. Then coflow 0: 6 + 2+6 = 14.
+	if res.CCTs[1] != 6 || res.CCTs[0] != 14 {
+		t.Errorf("CCTs = %v, want [14 6]", res.CCTs)
+	}
+	if res.Reconfigs != 2 {
+		t.Errorf("Reconfigs = %d, want 2", res.Reconfigs)
+	}
+	if err := res.Flows.Validate(2, 2); err != nil {
+		t.Errorf("flow schedule invalid: %v", err)
+	}
+	if err := res.Flows.CheckDemand([]*matrix.Matrix{d0, d1}); err != nil {
+		t.Errorf("demand not satisfied: %v", err)
+	}
+}
+
+func TestExecSequentialValidation(t *testing.T) {
+	d := mustMatrix(t, [][]int64{{1}})
+	s := CircuitSchedule{{Perm: []int{0}, Dur: 1}}
+	if _, err := ExecSequential([]*matrix.Matrix{d}, nil, []int{0}, 1); err == nil {
+		t.Error("mismatched schedules accepted")
+	}
+	if _, err := ExecSequential([]*matrix.Matrix{d}, []CircuitSchedule{s}, []int{0, 0}, 1); err == nil {
+		t.Error("bad order length accepted")
+	}
+	if _, err := ExecSequential([]*matrix.Matrix{d, d}, []CircuitSchedule{s, s}, []int{0, 0}, 1); err == nil {
+		t.Error("non-permutation order accepted")
+	}
+}
+
+func TestSinglePortSchedule(t *testing.T) {
+	tests := []struct {
+		name string
+		rows [][]int64
+		ok   bool
+		len  int
+	}{
+		{"empty", [][]int64{{0, 0}, {0, 0}}, true, 0},
+		{"s2s", [][]int64{{0, 5}, {0, 0}}, true, 1},
+		{"s2m", [][]int64{{3, 5}, {0, 0}}, true, 2},
+		{"m2s", [][]int64{{3, 0}, {7, 0}}, true, 2},
+		{"m2m", [][]int64{{3, 0}, {0, 7}}, false, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := mustMatrix(t, tt.rows)
+			cs, ok := SinglePortSchedule(d)
+			if ok != tt.ok {
+				t.Fatalf("ok = %v, want %v", ok, tt.ok)
+			}
+			if !ok {
+				return
+			}
+			if len(cs) != tt.len {
+				t.Fatalf("got %d assignments, want %d", len(cs), tt.len)
+			}
+			if tt.len == 0 {
+				return
+			}
+			res, err := ExecAllStop(d, cs, 10)
+			if err != nil {
+				t.Fatalf("exec: %v", err)
+			}
+			// Optimal for single-port: total demand + one delta per flow.
+			want := d.Total() + int64(tt.len)*10
+			if res.CCT != want {
+				t.Errorf("CCT = %d, want %d", res.CCT, want)
+			}
+			if err := res.Flows.CheckDemand([]*matrix.Matrix{d}); err != nil {
+				t.Errorf("demand: %v", err)
+			}
+		})
+	}
+}

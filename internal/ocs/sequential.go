@@ -1,0 +1,66 @@
+package ocs
+
+import (
+	"fmt"
+
+	"reco/internal/matrix"
+	"reco/internal/schedule"
+)
+
+// SeqResult reports the outcome of executing several coflows' circuit
+// schedules back-to-back on one switch.
+type SeqResult struct {
+	// CCTs[k] is the completion time of coflow k (arrivals are all at 0, so
+	// waiting for earlier coflows counts toward the CCT).
+	CCTs []int64
+	// Reconfigs is the total number of reconfigurations performed.
+	Reconfigs int
+	// ConfTime and TransTime split the makespan as in Result.
+	ConfTime, TransTime int64
+	// Flows is the combined flow-level schedule with real coflow indices.
+	Flows schedule.FlowSchedule
+}
+
+// ExecSequential executes one circuit schedule per coflow, in the given
+// priority order, under the all-stop model. This is how ordering-based
+// baselines (SEBF+Solstice, LP-II-GB groups) realize multi-coflow scheduling
+// in an OCS: the switch is handed over to one coflow at a time.
+//
+// order must be a permutation of the coflow indices; schedules[k] is the
+// circuit schedule serving ds[k].
+func ExecSequential(ds []*matrix.Matrix, schedules []CircuitSchedule, order []int, delta int64) (SeqResult, error) {
+	if len(ds) != len(schedules) {
+		return SeqResult{}, fmt.Errorf("ocs: %d demand matrices but %d schedules", len(ds), len(schedules))
+	}
+	if len(order) != len(ds) {
+		return SeqResult{}, fmt.Errorf("ocs: order has %d entries, want %d", len(order), len(ds))
+	}
+	seen := make([]bool, len(ds))
+	for _, k := range order {
+		if k < 0 || k >= len(ds) || seen[k] {
+			return SeqResult{}, fmt.Errorf("ocs: order is not a permutation of coflows")
+		}
+		seen[k] = true
+	}
+
+	res := SeqResult{CCTs: make([]int64, len(ds))}
+	var now int64
+	for _, k := range order {
+		r, err := ExecAllStop(ds[k], schedules[k], delta)
+		if err != nil {
+			return SeqResult{}, fmt.Errorf("coflow %d: %w", k, err)
+		}
+		for _, f := range r.Flows {
+			f.Start += now
+			f.End += now
+			f.Coflow = k
+			res.Flows = append(res.Flows, f)
+		}
+		now += r.CCT
+		res.CCTs[k] = now
+		res.Reconfigs += r.Reconfigs
+		res.ConfTime += r.ConfTime
+		res.TransTime += r.TransTime
+	}
+	return res, nil
+}

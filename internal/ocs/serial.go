@@ -1,0 +1,54 @@
+package ocs
+
+import "reco/internal/matrix"
+
+// SinglePortSchedule returns the optimal one-flow-at-a-time circuit
+// schedule for demand matrices whose non-zero entries share one ingress or
+// one egress port (the S2S/S2M/M2S transmission modes of Sec. V-A), and ok
+// = false for anything else. Such coflows admit no parallelism — every flow
+// blocks on the shared port — so serving flows back-to-back is exactly
+// optimal, as the paper notes, and both Reco-Sin and Solstice defer to it.
+func SinglePortSchedule(d *matrix.Matrix) (CircuitSchedule, bool) {
+	n := d.N()
+	rows, cols := -1, -1
+	multiRow, multiCol := false, false
+	for i := 0; i < n && !(multiRow && multiCol); i++ {
+		for j := 0; j < n; j++ {
+			if d.At(i, j) == 0 {
+				continue
+			}
+			if rows == -1 {
+				rows = i
+			} else if rows != i {
+				multiRow = true
+			}
+			if cols == -1 {
+				cols = j
+			} else if cols != j {
+				multiCol = true
+			}
+		}
+	}
+	if rows == -1 {
+		return nil, true // empty demand: the empty schedule is optimal
+	}
+	if multiRow && multiCol {
+		return nil, false
+	}
+	var cs CircuitSchedule
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := d.At(i, j)
+			if v == 0 {
+				continue
+			}
+			perm := make([]int, n)
+			for p := range perm {
+				perm[p] = -1
+			}
+			perm[i] = j
+			cs = append(cs, Assignment{Perm: perm, Dur: v})
+		}
+	}
+	return cs, true
+}

@@ -1,0 +1,288 @@
+// Package online extends the paper's offline model with coflow arrivals —
+// the future direction its conclusion names ("derive online coflow
+// scheduling schemes for OCS-based networks"). Coflows become known only
+// when they arrive; an event-driven controller decides, whenever the switch
+// frees up, which pending coflows to serve next and schedules them with the
+// repository's offline machinery (Reco-Sin for one coflow, the Reco-Mul
+// pipeline for a batch).
+package online
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"reco/internal/core"
+	"reco/internal/matrix"
+	"reco/internal/ocs"
+)
+
+// ErrBadInput reports an unusable arrival sequence or policy decision.
+var ErrBadInput = errors.New("online: invalid input")
+
+// Arrival is one coflow arriving at time At (ticks).
+type Arrival struct {
+	Demand *matrix.Matrix
+	At     int64
+	Weight float64
+}
+
+// Policy decides which pending coflows the switch serves next.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick returns a non-empty subset of the pending indices to serve as
+	// the next service unit. Indices refer to the arrivals slice.
+	Pick(pending []int, arrivals []Arrival, now int64) []int
+}
+
+// FIFO serves pending coflows one at a time in arrival order.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo-reco-sin" }
+
+// Pick implements Policy.
+func (FIFO) Pick(pending []int, arrivals []Arrival, _ int64) []int {
+	best := pending[0]
+	for _, k := range pending[1:] {
+		if arrivals[k].At < arrivals[best].At || (arrivals[k].At == arrivals[best].At && k < best) {
+			best = k
+		}
+	}
+	return []int{best}
+}
+
+// SEBF serves one pending coflow at a time, smallest effective bottleneck
+// first — the online analogue of Varys' heuristic.
+type SEBF struct{}
+
+// Name implements Policy.
+func (SEBF) Name() string { return "sebf-reco-sin" }
+
+// Pick implements Policy.
+func (SEBF) Pick(pending []int, arrivals []Arrival, _ int64) []int {
+	best := pending[0]
+	bestRho := arrivals[best].Demand.MaxRowColSum()
+	for _, k := range pending[1:] {
+		rho := arrivals[k].Demand.MaxRowColSum()
+		if rho < bestRho || (rho == bestRho && k < best) {
+			best = k
+			bestRho = rho
+		}
+	}
+	return []int{best}
+}
+
+// Batch serves all pending coflows together through the Reco-Mul pipeline —
+// amortizing reconfigurations across the batch at the cost of head-of-line
+// batching delay.
+type Batch struct{}
+
+// Name implements Policy.
+func (Batch) Name() string { return "batch-reco-mul" }
+
+// Pick implements Policy.
+func (Batch) Pick(pending []int, _ []Arrival, _ int64) []int {
+	out := make([]int, len(pending))
+	copy(out, pending)
+	sort.Ints(out)
+	return out
+}
+
+// DisjointBatch serves the smallest-bottleneck pending coflow together with
+// every pending coflow that is port-disjoint from the chosen set: the
+// co-scheduled coflows share the fabric (and the Reco-Mul alignment)
+// without delaying each other, while contenders wait for the next unit.
+type DisjointBatch struct{}
+
+// Name implements Policy.
+func (DisjointBatch) Name() string { return "disjoint-reco-mul" }
+
+// Pick implements Policy.
+func (DisjointBatch) Pick(pending []int, arrivals []Arrival, _ int64) []int {
+	// Seed with the smallest bottleneck (SEBF), then grow greedily in
+	// bottleneck order with port-disjoint coflows.
+	order := make([]int, len(pending))
+	copy(order, pending)
+	sort.Slice(order, func(a, b int) bool {
+		ra := arrivals[order[a]].Demand.MaxRowColSum()
+		rb := arrivals[order[b]].Demand.MaxRowColSum()
+		if ra != rb {
+			return ra < rb
+		}
+		return order[a] < order[b]
+	})
+	n := arrivals[order[0]].Demand.N()
+	usedIn := make([]bool, n)
+	usedOut := make([]bool, n)
+	var out []int
+	for _, k := range order {
+		d := arrivals[k].Demand
+		conflict := false
+	scan:
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d.At(i, j) > 0 && (usedIn[i] || usedOut[j]) {
+					conflict = true
+					break scan
+				}
+			}
+		}
+		if conflict && len(out) > 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d.At(i, j) > 0 {
+					usedIn[i] = true
+					usedOut[j] = true
+				}
+			}
+		}
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Result reports an online simulation.
+type Result struct {
+	// Policy is the name of the policy that produced the result.
+	Policy string
+	// CCTs[k] is arrival k's completion time minus its arrival time.
+	CCTs []int64
+	// Reconfigs is the total number of reconfigurations across all service
+	// units.
+	Reconfigs int
+	// Makespan is the time the last coflow completes.
+	Makespan int64
+	// ServiceUnits is how many times the controller dispatched work.
+	ServiceUnits int
+}
+
+// Simulate runs the event-driven controller: the switch serves one unit at
+// a time; when it frees up (or when the first coflow arrives to an idle
+// switch), the policy picks the next unit from the pending set.
+func Simulate(arrivals []Arrival, pol Policy, delta, c int64) (*Result, error) {
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("%w: no arrivals", ErrBadInput)
+	}
+	if pol == nil {
+		return nil, fmt.Errorf("%w: nil policy", ErrBadInput)
+	}
+	n := arrivals[0].Demand.N()
+	for k, a := range arrivals {
+		if a.Demand == nil || a.Demand.N() != n {
+			return nil, fmt.Errorf("%w: arrival %d has bad demand", ErrBadInput, k)
+		}
+		if a.At < 0 {
+			return nil, fmt.Errorf("%w: arrival %d at negative time %d", ErrBadInput, k, a.At)
+		}
+	}
+
+	// Arrival order for advancing the clock.
+	order := make([]int, len(arrivals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return arrivals[order[a]].At < arrivals[order[b]].At })
+
+	res := &Result{Policy: pol.Name(), CCTs: make([]int64, len(arrivals))}
+	served := make([]bool, len(arrivals))
+	nextArrival := 0
+	var now int64
+	remaining := len(arrivals)
+
+	for remaining > 0 {
+		// Collect pending coflows; if none, jump to the next arrival.
+		var pending []int
+		for nextArrival < len(order) && arrivals[order[nextArrival]].At <= now {
+			nextArrival++
+		}
+		for _, k := range order[:nextArrival] {
+			if !served[k] {
+				pending = append(pending, k)
+			}
+		}
+		if len(pending) == 0 {
+			now = arrivals[order[nextArrival]].At
+			continue
+		}
+
+		chosen := pol.Pick(pending, arrivals, now)
+		if err := checkChoice(chosen, pending); err != nil {
+			return nil, err
+		}
+		if err := serveUnit(res, arrivals, chosen, &now, delta, c); err != nil {
+			return nil, err
+		}
+		for _, k := range chosen {
+			served[k] = true
+		}
+		remaining -= len(chosen)
+		res.ServiceUnits++
+	}
+	res.Makespan = now
+	return res, nil
+}
+
+func checkChoice(chosen, pending []int) error {
+	if len(chosen) == 0 {
+		return fmt.Errorf("%w: policy picked nothing", ErrBadInput)
+	}
+	ok := make(map[int]bool, len(pending))
+	for _, k := range pending {
+		ok[k] = true
+	}
+	seen := make(map[int]bool, len(chosen))
+	for _, k := range chosen {
+		if !ok[k] || seen[k] {
+			return fmt.Errorf("%w: policy picked invalid index %d", ErrBadInput, k)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// serveUnit schedules the chosen coflows starting at *now and advances the
+// clock to the unit's completion.
+func serveUnit(res *Result, arrivals []Arrival, chosen []int, now *int64, delta, c int64) error {
+	if len(chosen) == 1 {
+		k := chosen[0]
+		cs, err := core.RecoSin(arrivals[k].Demand, delta)
+		if err != nil {
+			return fmt.Errorf("online: %w", err)
+		}
+		exec, err := ocs.ExecAllStop(arrivals[k].Demand, cs, delta)
+		if err != nil {
+			return fmt.Errorf("online: %w", err)
+		}
+		*now += exec.CCT
+		res.CCTs[k] = *now - arrivals[k].At
+		res.Reconfigs += exec.Reconfigs
+		return nil
+	}
+
+	ds := make([]*matrix.Matrix, len(chosen))
+	w := make([]float64, len(chosen))
+	for i, k := range chosen {
+		ds[i] = arrivals[k].Demand
+		w[i] = arrivals[k].Weight
+	}
+	mul, err := core.ScheduleMul(ds, w, delta, c)
+	if err != nil {
+		return fmt.Errorf("online: %w", err)
+	}
+	var unitEnd int64
+	for i, k := range chosen {
+		finish := *now + mul.CCTs[i]
+		res.CCTs[k] = finish - arrivals[k].At
+		if finish > unitEnd {
+			unitEnd = finish
+		}
+	}
+	*now = unitEnd
+	res.Reconfigs += mul.Reconfigs
+	return nil
+}

@@ -1,0 +1,237 @@
+package online
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"reco/internal/matrix"
+	"reco/internal/workload"
+)
+
+func mustMatrix(t *testing.T, rows [][]int64) *matrix.Matrix {
+	t.Helper()
+	m, err := matrix.FromRows(rows)
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	return m
+}
+
+func TestSimulateValidation(t *testing.T) {
+	d := mustMatrix(t, [][]int64{{5}})
+	if _, err := Simulate(nil, FIFO{}, 10, 4); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty arrivals: %v", err)
+	}
+	if _, err := Simulate([]Arrival{{Demand: d}}, nil, 10, 4); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil policy: %v", err)
+	}
+	if _, err := Simulate([]Arrival{{Demand: d, At: -1}}, FIFO{}, 10, 4); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative arrival: %v", err)
+	}
+	d2 := mustMatrix(t, [][]int64{{1, 0}, {0, 1}})
+	if _, err := Simulate([]Arrival{{Demand: d}, {Demand: d2}}, FIFO{}, 10, 4); !errors.Is(err, ErrBadInput) {
+		t.Errorf("dimension mismatch: %v", err)
+	}
+}
+
+func TestSimulateSingleArrival(t *testing.T) {
+	d := mustMatrix(t, [][]int64{{40}})
+	res, err := Simulate([]Arrival{{Demand: d, At: 7, Weight: 1}}, FIFO{}, 10, 4)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	// Arrives at 7, served immediately: reconfig 10 + transfer 40.
+	if res.CCTs[0] != 50 {
+		t.Errorf("CCT = %d, want 50", res.CCTs[0])
+	}
+	if res.Makespan != 57 {
+		t.Errorf("Makespan = %d, want 57", res.Makespan)
+	}
+	if res.ServiceUnits != 1 {
+		t.Errorf("ServiceUnits = %d, want 1", res.ServiceUnits)
+	}
+}
+
+func TestSimulateIdleGap(t *testing.T) {
+	// Second coflow arrives long after the first completes: the clock must
+	// jump over the idle period; its CCT excludes the idle time.
+	a := mustMatrix(t, [][]int64{{40}})
+	b := mustMatrix(t, [][]int64{{30}})
+	res, err := Simulate([]Arrival{
+		{Demand: a, At: 0, Weight: 1},
+		{Demand: b, At: 500, Weight: 1},
+	}, FIFO{}, 10, 4)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.CCTs[0] != 50 {
+		t.Errorf("CCT[0] = %d, want 50", res.CCTs[0])
+	}
+	if res.CCTs[1] != 40 {
+		t.Errorf("CCT[1] = %d, want 40 (10 reconfig + 30)", res.CCTs[1])
+	}
+	if res.Makespan != 540 {
+		t.Errorf("Makespan = %d, want 540", res.Makespan)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	// Both pending when the switch frees: FIFO must serve the earlier
+	// arrival first even though it is bigger.
+	big := mustMatrix(t, [][]int64{{100}})
+	small := mustMatrix(t, [][]int64{{10}})
+	res, err := Simulate([]Arrival{
+		{Demand: big, At: 1, Weight: 1},
+		{Demand: small, At: 2, Weight: 1},
+	}, FIFO{}, 0, 4)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.CCTs[0] > res.CCTs[1] {
+		t.Errorf("FIFO served out of order: CCTs %v", res.CCTs)
+	}
+}
+
+func TestSEBFPrefersSmall(t *testing.T) {
+	// Both arrive at 0; SEBF must finish the small one first.
+	big := mustMatrix(t, [][]int64{{100}})
+	small := mustMatrix(t, [][]int64{{10}})
+	res, err := Simulate([]Arrival{
+		{Demand: big, At: 0, Weight: 1},
+		{Demand: small, At: 0, Weight: 1},
+	}, SEBF{}, 0, 4)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.CCTs[1] >= res.CCTs[0] {
+		t.Errorf("SEBF served the elephant first: CCTs %v", res.CCTs)
+	}
+}
+
+func TestBatchServesAllPending(t *testing.T) {
+	a := mustMatrix(t, [][]int64{{400, 0}, {0, 0}})
+	b := mustMatrix(t, [][]int64{{0, 0}, {0, 400}})
+	res, err := Simulate([]Arrival{
+		{Demand: a, At: 0, Weight: 1},
+		{Demand: b, At: 0, Weight: 1},
+	}, Batch{}, 100, 4)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.ServiceUnits != 1 {
+		t.Errorf("ServiceUnits = %d, want 1 (one batch)", res.ServiceUnits)
+	}
+	// Disjoint ports: the batch runs them concurrently, so both CCTs are far
+	// below the serial 2×(100+400).
+	for k, c := range res.CCTs {
+		if c >= 900 {
+			t.Errorf("CCT[%d] = %d, batching failed to parallelize", k, c)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{FIFO{}, SEBF{}, Batch{}} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}
+
+type badPolicy struct{ pick []int }
+
+func (badPolicy) Name() string                         { return "bad" }
+func (p badPolicy) Pick([]int, []Arrival, int64) []int { return p.pick }
+
+func TestSimulateRejectsBadPolicy(t *testing.T) {
+	d := mustMatrix(t, [][]int64{{5}})
+	arrivals := []Arrival{{Demand: d, Weight: 1}}
+	for _, pick := range [][]int{nil, {7}, {0, 0}} {
+		if _, err := Simulate(arrivals, badPolicy{pick}, 10, 4); !errors.Is(err, ErrBadInput) {
+			t.Errorf("pick %v accepted: %v", pick, err)
+		}
+	}
+}
+
+func TestSimulateRandomWorkload(t *testing.T) {
+	coflows, err := workload.Generate(workload.GenConfig{
+		N: 16, NumCoflows: 12, Seed: 9, MinDemand: 400, MeanDemand: 400,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	arrivals := make([]Arrival, len(coflows))
+	var at int64
+	for i, c := range coflows {
+		arrivals[i] = Arrival{Demand: c.Demand, At: at, Weight: 1}
+		at += rng.Int63n(2000)
+	}
+	for _, p := range []Policy{FIFO{}, SEBF{}, Batch{}} {
+		res, err := Simulate(arrivals, p, 100, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.Policy != p.Name() {
+			t.Errorf("result policy %q, want %q", res.Policy, p.Name())
+		}
+		for k, c := range res.CCTs {
+			if c <= 0 {
+				t.Errorf("%s: CCT[%d] = %d", p.Name(), k, c)
+			}
+		}
+		if res.Reconfigs <= 0 || res.Makespan <= 0 {
+			t.Errorf("%s: degenerate result %+v", p.Name(), res)
+		}
+	}
+}
+
+func TestDisjointBatchCoSchedulesDisjointCoflows(t *testing.T) {
+	// Two port-disjoint coflows and one conflicting: the first unit must
+	// contain exactly the two disjoint ones.
+	a := mustMatrix(t, [][]int64{
+		{400, 0, 0},
+		{0, 0, 0},
+		{0, 0, 0},
+	})
+	b := mustMatrix(t, [][]int64{
+		{0, 0, 0},
+		{0, 400, 0},
+		{0, 0, 0},
+	})
+	conflict := mustMatrix(t, [][]int64{
+		{400, 400, 0},
+		{0, 0, 0},
+		{0, 0, 0},
+	})
+	arrivals := []Arrival{
+		{Demand: conflict, At: 0, Weight: 1},
+		{Demand: a, At: 0, Weight: 1},
+		{Demand: b, At: 0, Weight: 1},
+	}
+	picked := DisjointBatch{}.Pick([]int{0, 1, 2}, arrivals, 0)
+	if len(picked) != 2 || picked[0] != 1 || picked[1] != 2 {
+		t.Fatalf("Pick = %v, want [1 2] (the disjoint pair)", picked)
+	}
+	res, err := Simulate(arrivals, DisjointBatch{}, 100, 4)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.ServiceUnits != 2 {
+		t.Errorf("ServiceUnits = %d, want 2", res.ServiceUnits)
+	}
+}
+
+func TestDisjointBatchSeedsWithSmallestBottleneck(t *testing.T) {
+	big := mustMatrix(t, [][]int64{{4000}})
+	small := mustMatrix(t, [][]int64{{400}})
+	arrivals := []Arrival{
+		{Demand: big, At: 0, Weight: 1},
+		{Demand: small, At: 0, Weight: 1},
+	}
+	picked := DisjointBatch{}.Pick([]int{0, 1}, arrivals, 0)
+	if len(picked) != 1 || picked[0] != 1 {
+		t.Fatalf("Pick = %v, want [1] (smallest bottleneck seeds)", picked)
+	}
+}

@@ -1,0 +1,150 @@
+// Package optimal computes exact minimum-CCT circuit schedules for small
+// single-coflow instances by exhaustive search, giving the test suite a true
+// optimum to compare Reco-Sin's 2-approximation against (rather than only
+// the ρ+τδ lower bound).
+//
+// The search relies on a standard exchange argument: there is always an
+// optimal all-stop schedule in which every establishment is a maximal
+// matching of the remaining support and ends exactly when one of its
+// circuits drains its pair (circuits that drain earlier idle inside the
+// establishment) — stopping between drain points only splits work across an
+// extra reconfiguration, and adding circuits to a non-maximal establishment
+// only moves demand earlier. Branching over maximal support matchings and
+// their drain points, with memoization, is therefore exact.
+package optimal
+
+import (
+	"errors"
+	"fmt"
+
+	"reco/internal/matrix"
+)
+
+// ErrTooLarge guards the exponential search against misuse.
+var ErrTooLarge = errors.New("optimal: instance too large for exhaustive search")
+
+// maxPorts bounds the fabric size the exhaustive search accepts.
+const maxPorts = 4
+
+// MinCCT returns the minimum possible coflow completion time of d in an
+// all-stop OCS with reconfiguration delay delta.
+func MinCCT(d *matrix.Matrix, delta int64) (int64, error) {
+	if d.N() > maxPorts {
+		return 0, fmt.Errorf("%w: %d ports (max %d)", ErrTooLarge, d.N(), maxPorts)
+	}
+	if delta < 0 {
+		return 0, fmt.Errorf("optimal: negative delta %d", delta)
+	}
+	s := &solver{delta: delta, memo: make(map[string]int64)}
+	return s.solve(d.Clone()), nil
+}
+
+type solver struct {
+	delta int64
+	memo  map[string]int64
+}
+
+func (s *solver) solve(rem *matrix.Matrix) int64 {
+	if rem.IsZero() {
+		return 0
+	}
+	key := rem.String()
+	if v, ok := s.memo[key]; ok {
+		return v
+	}
+	best := int64(-1)
+	n := rem.N()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	usedCol := make([]bool, n)
+	s.branch(rem, perm, usedCol, 0, false, &best)
+	s.memo[key] = best
+	return best
+}
+
+// branch enumerates maximal matchings of rem's support row by row; for each
+// complete maximal matching it plays the establishment until its first
+// drain and recurses.
+func (s *solver) branch(rem *matrix.Matrix, perm []int, usedCol []bool, row int, any bool, best *int64) {
+	n := rem.N()
+	if row == n {
+		if !any || !isMaximal(rem, perm, usedCol) {
+			return
+		}
+		s.play(rem, perm, best)
+		return
+	}
+	// Option 1: leave this row unmatched.
+	s.branch(rem, perm, usedCol, row+1, any, best)
+	// Option 2: match it to each available column with demand.
+	for j := 0; j < n; j++ {
+		if usedCol[j] || rem.At(row, j) == 0 {
+			continue
+		}
+		perm[row] = j
+		usedCol[j] = true
+		s.branch(rem, perm, usedCol, row+1, true, best)
+		perm[row] = -1
+		usedCol[j] = false
+	}
+}
+
+// isMaximal reports whether no further circuit could be added to the
+// matching: considering non-maximal establishments is never necessary.
+func isMaximal(rem *matrix.Matrix, perm []int, usedCol []bool) bool {
+	n := rem.N()
+	for i := 0; i < n; i++ {
+		if perm[i] != -1 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if !usedCol[j] && rem.At(i, j) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// play holds the establishment until each of its drain points in turn
+// (circuits that finish earlier idle inside it) and recurses on the
+// residual demand of every variant.
+func (s *solver) play(rem *matrix.Matrix, perm []int, best *int64) {
+	// Candidate durations: the distinct remaining values of matched pairs.
+	var durs []int64
+	for i, j := range perm {
+		if j == -1 {
+			continue
+		}
+		v := rem.At(i, j)
+		dup := false
+		for _, d := range durs {
+			if d == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			durs = append(durs, v)
+		}
+	}
+	for _, dur := range durs {
+		next := rem.Clone()
+		for i, j := range perm {
+			if j == -1 {
+				continue
+			}
+			send := dur
+			if v := next.At(i, j); v < send {
+				send = v
+			}
+			next.Add(i, j, -send)
+		}
+		total := s.delta + dur + s.solve(next)
+		if *best == -1 || total < *best {
+			*best = total
+		}
+	}
+}

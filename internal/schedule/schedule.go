@@ -1,0 +1,173 @@
+// Package schedule defines the flow-level scheduling representation shared
+// by the packet-switch and OCS models: a schedule is a set of time intervals
+// during which a single flow of a coflow occupies one ingress and one egress
+// port. The package also provides machine checks for the two feasibility
+// conditions every scheduler in this repository must satisfy — the port
+// constraint and demand satisfaction — plus completion-time extraction.
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"reco/internal/matrix"
+)
+
+// ErrInvalidInterval reports an interval with a non-positive duration or an
+// out-of-range port or coflow index.
+var ErrInvalidInterval = errors.New("schedule: invalid interval")
+
+// ErrPortConflict reports two intervals that overlap in time while sharing
+// an ingress or egress port.
+var ErrPortConflict = errors.New("schedule: port constraint violated")
+
+// ErrDemandMismatch reports a schedule whose per-pair transmission time does
+// not cover the coflow demand it claims to serve.
+var ErrDemandMismatch = errors.New("schedule: demand not satisfied")
+
+// FlowInterval records that the flow of coflow Coflow from ingress port In
+// to egress port Out transmits during [Start, End). Times are integer ticks.
+//
+// Gap is transmission-dead time inside the interval (all-stop freezes in the
+// OCS model); the useful transmission carried by the interval is
+// End − Start − Gap. Packet-switch schedules always have Gap == 0.
+type FlowInterval struct {
+	Start, End int64
+	Gap        int64
+	In, Out    int
+	Coflow     int
+}
+
+// Duration returns the wall-clock length of the interval.
+func (f FlowInterval) Duration() int64 { return f.End - f.Start }
+
+// Transmitted returns the useful transmission time of the interval.
+func (f FlowInterval) Transmitted() int64 { return f.End - f.Start - f.Gap }
+
+// FlowSchedule is a collection of flow intervals, in no particular order.
+type FlowSchedule []FlowInterval
+
+// Validate checks structural sanity and the port constraint for a fabric
+// with n ports and k coflows: every interval must have positive duration,
+// in-range ports and coflow index, a non-negative Gap smaller than the
+// duration, and no two intervals sharing a port may overlap in time.
+func (s FlowSchedule) Validate(n, k int) error {
+	for idx, f := range s {
+		if f.End <= f.Start {
+			return fmt.Errorf("%w: interval %d has non-positive duration [%d,%d)", ErrInvalidInterval, idx, f.Start, f.End)
+		}
+		if f.Start < 0 {
+			return fmt.Errorf("%w: interval %d starts at %d < 0", ErrInvalidInterval, idx, f.Start)
+		}
+		if f.Gap < 0 || f.Gap >= f.Duration() {
+			return fmt.Errorf("%w: interval %d has gap %d outside [0,%d)", ErrInvalidInterval, idx, f.Gap, f.Duration())
+		}
+		if f.In < 0 || f.In >= n || f.Out < 0 || f.Out >= n {
+			return fmt.Errorf("%w: interval %d uses ports (%d,%d) outside fabric of %d", ErrInvalidInterval, idx, f.In, f.Out, n)
+		}
+		if f.Coflow < 0 || f.Coflow >= k {
+			return fmt.Errorf("%w: interval %d names coflow %d of %d", ErrInvalidInterval, idx, f.Coflow, k)
+		}
+	}
+	if err := s.checkPortOverlap(n, true); err != nil {
+		return err
+	}
+	return s.checkPortOverlap(n, false)
+}
+
+func (s FlowSchedule) checkPortOverlap(n int, ingress bool) error {
+	byPort := make([][]FlowInterval, n)
+	for _, f := range s {
+		p := f.In
+		if !ingress {
+			p = f.Out
+		}
+		byPort[p] = append(byPort[p], f)
+	}
+	side := "egress"
+	if ingress {
+		side = "ingress"
+	}
+	for p, fs := range byPort {
+		sort.Slice(fs, func(a, b int) bool { return fs[a].Start < fs[b].Start })
+		for i := 1; i < len(fs); i++ {
+			if fs[i].Start < fs[i-1].End {
+				return fmt.Errorf("%w: %s port %d busy with coflow %d until %d but coflow %d starts at %d",
+					ErrPortConflict, side, p, fs[i-1].Coflow, fs[i-1].End, fs[i].Coflow, fs[i].Start)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckDemand verifies that for every coflow k and every port pair (i,j),
+// the total useful transmission time of k's intervals on (i,j) is at least
+// the demand ds[k].At(i,j), and that no interval serves a pair with zero
+// demand. Schedulers built from stuffed matrices legitimately transmit more
+// than the raw demand, hence "at least".
+func (s FlowSchedule) CheckDemand(ds []*matrix.Matrix) error {
+	if len(ds) == 0 {
+		return fmt.Errorf("%w: no demand matrices", ErrDemandMismatch)
+	}
+	n := ds[0].N()
+	got := make(map[[3]int]int64, len(s))
+	for idx, f := range s {
+		if f.Coflow >= len(ds) {
+			return fmt.Errorf("%w: interval %d names unknown coflow %d", ErrDemandMismatch, idx, f.Coflow)
+		}
+		got[[3]int{f.Coflow, f.In, f.Out}] += f.Transmitted()
+	}
+	for k, d := range ds {
+		if d.N() != n {
+			return fmt.Errorf("%w: coflow %d has dimension %d, want %d", ErrDemandMismatch, k, d.N(), n)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := d.At(i, j)
+				have := got[[3]int{k, i, j}]
+				if have < want {
+					return fmt.Errorf("%w: coflow %d pair (%d,%d) transmitted %d of %d", ErrDemandMismatch, k, i, j, have, want)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CCTs returns the completion time of each of the k coflows: the maximum End
+// over the coflow's intervals, or 0 for a coflow with no intervals (an empty
+// coflow completes immediately; all arrivals are at time 0, Sec. II-A).
+func (s FlowSchedule) CCTs(k int) []int64 {
+	out := make([]int64, k)
+	for _, f := range s {
+		if f.Coflow >= 0 && f.Coflow < k && f.End > out[f.Coflow] {
+			out[f.Coflow] = f.End
+		}
+	}
+	return out
+}
+
+// Makespan returns the latest End in the schedule, or 0 if it is empty.
+func (s FlowSchedule) Makespan() int64 {
+	var m int64
+	for _, f := range s {
+		if f.End > m {
+			m = f.End
+		}
+	}
+	return m
+}
+
+// TotalWeighted returns Σ w_k·CCT_k for the given per-coflow weights.
+func TotalWeighted(ccts []int64, w []float64) float64 {
+	var sum float64
+	for k, c := range ccts {
+		wk := 1.0
+		if k < len(w) {
+			wk = w[k]
+		}
+		sum += wk * float64(c)
+	}
+	return sum
+}

@@ -1,0 +1,162 @@
+package schedule
+
+import (
+	"errors"
+	"testing"
+
+	"reco/internal/matrix"
+)
+
+func mustMatrix(t *testing.T, rows [][]int64) *matrix.Matrix {
+	t.Helper()
+	m, err := matrix.FromRows(rows)
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	return m
+}
+
+func TestFlowIntervalAccessors(t *testing.T) {
+	f := FlowInterval{Start: 10, End: 30, Gap: 5}
+	if f.Duration() != 20 {
+		t.Errorf("Duration = %d, want 20", f.Duration())
+	}
+	if f.Transmitted() != 15 {
+		t.Errorf("Transmitted = %d, want 15", f.Transmitted())
+	}
+}
+
+func TestValidateStructural(t *testing.T) {
+	tests := []struct {
+		name string
+		f    FlowInterval
+		want error
+	}{
+		{"ok", FlowInterval{Start: 0, End: 5, In: 0, Out: 1, Coflow: 0}, nil},
+		{"zero duration", FlowInterval{Start: 5, End: 5}, ErrInvalidInterval},
+		{"negative start", FlowInterval{Start: -1, End: 5}, ErrInvalidInterval},
+		{"gap too big", FlowInterval{Start: 0, End: 5, Gap: 5}, ErrInvalidInterval},
+		{"negative gap", FlowInterval{Start: 0, End: 5, Gap: -1}, ErrInvalidInterval},
+		{"bad in port", FlowInterval{Start: 0, End: 5, In: 2}, ErrInvalidInterval},
+		{"bad out port", FlowInterval{Start: 0, End: 5, Out: -1}, ErrInvalidInterval},
+		{"bad coflow", FlowInterval{Start: 0, End: 5, Coflow: 3}, ErrInvalidInterval},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := FlowSchedule{tt.f}.Validate(2, 1)
+			if !errors.Is(err, tt.want) {
+				t.Errorf("got %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestValidatePortConflicts(t *testing.T) {
+	// Same ingress port, overlapping in time.
+	in := FlowSchedule{
+		{Start: 0, End: 10, In: 0, Out: 0},
+		{Start: 5, End: 15, In: 0, Out: 1},
+	}
+	if err := in.Validate(2, 1); !errors.Is(err, ErrPortConflict) {
+		t.Errorf("ingress conflict: got %v, want ErrPortConflict", err)
+	}
+	// Same egress port, overlapping.
+	out := FlowSchedule{
+		{Start: 0, End: 10, In: 0, Out: 1},
+		{Start: 9, End: 12, In: 1, Out: 1},
+	}
+	if err := out.Validate(2, 1); !errors.Is(err, ErrPortConflict) {
+		t.Errorf("egress conflict: got %v, want ErrPortConflict", err)
+	}
+	// Touching intervals are fine.
+	ok := FlowSchedule{
+		{Start: 0, End: 10, In: 0, Out: 0},
+		{Start: 10, End: 20, In: 0, Out: 0},
+		{Start: 0, End: 10, In: 1, Out: 1},
+	}
+	if err := ok.Validate(2, 1); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestCheckDemand(t *testing.T) {
+	d := mustMatrix(t, [][]int64{
+		{5, 0},
+		{0, 3},
+	})
+	good := FlowSchedule{
+		{Start: 0, End: 5, In: 0, Out: 0, Coflow: 0},
+		{Start: 0, End: 3, In: 1, Out: 1, Coflow: 0},
+	}
+	if err := good.CheckDemand([]*matrix.Matrix{d}); err != nil {
+		t.Errorf("satisfying schedule rejected: %v", err)
+	}
+
+	short := FlowSchedule{
+		{Start: 0, End: 4, In: 0, Out: 0, Coflow: 0},
+		{Start: 0, End: 3, In: 1, Out: 1, Coflow: 0},
+	}
+	if err := short.CheckDemand([]*matrix.Matrix{d}); !errors.Is(err, ErrDemandMismatch) {
+		t.Errorf("short schedule: got %v, want ErrDemandMismatch", err)
+	}
+
+	// Gap reduces useful transmission below demand.
+	gapped := FlowSchedule{
+		{Start: 0, End: 5, Gap: 1, In: 0, Out: 0, Coflow: 0},
+		{Start: 0, End: 3, In: 1, Out: 1, Coflow: 0},
+	}
+	if err := gapped.CheckDemand([]*matrix.Matrix{d}); !errors.Is(err, ErrDemandMismatch) {
+		t.Errorf("gapped schedule: got %v, want ErrDemandMismatch", err)
+	}
+
+	// Overshoot (stuffed transmission) is allowed.
+	over := FlowSchedule{
+		{Start: 0, End: 9, In: 0, Out: 0, Coflow: 0},
+		{Start: 0, End: 3, In: 1, Out: 1, Coflow: 0},
+	}
+	if err := over.CheckDemand([]*matrix.Matrix{d}); err != nil {
+		t.Errorf("overshooting schedule rejected: %v", err)
+	}
+
+	if err := good.CheckDemand(nil); !errors.Is(err, ErrDemandMismatch) {
+		t.Errorf("nil demand: got %v, want ErrDemandMismatch", err)
+	}
+	bad := FlowSchedule{{Start: 0, End: 1, Coflow: 7}}
+	if err := bad.CheckDemand([]*matrix.Matrix{d}); !errors.Is(err, ErrDemandMismatch) {
+		t.Errorf("unknown coflow: got %v, want ErrDemandMismatch", err)
+	}
+}
+
+func TestCCTsAndMakespan(t *testing.T) {
+	s := FlowSchedule{
+		{Start: 0, End: 10, Coflow: 0},
+		{Start: 4, End: 25, Coflow: 1},
+		{Start: 0, End: 7, Coflow: 0},
+	}
+	ccts := s.CCTs(3)
+	want := []int64{10, 25, 0}
+	for k, c := range ccts {
+		if c != want[k] {
+			t.Errorf("CCT[%d] = %d, want %d", k, c, want[k])
+		}
+	}
+	if s.Makespan() != 25 {
+		t.Errorf("Makespan = %d, want 25", s.Makespan())
+	}
+	var empty FlowSchedule
+	if empty.Makespan() != 0 {
+		t.Error("empty schedule Makespan should be 0")
+	}
+}
+
+func TestTotalWeighted(t *testing.T) {
+	ccts := []int64{10, 20, 30}
+	w := []float64{0.5, 1, 2}
+	if got, want := TotalWeighted(ccts, w), 5.0+20+60; got != want {
+		t.Errorf("TotalWeighted = %v, want %v", got, want)
+	}
+	// Missing weights default to 1.
+	if got, want := TotalWeighted(ccts, w[:1]), 5.0+20+30; got != want {
+		t.Errorf("TotalWeighted short weights = %v, want %v", got, want)
+	}
+}

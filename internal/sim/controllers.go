@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"reco/internal/matching"
+	"reco/internal/matrix"
+	"reco/internal/ocs"
+)
+
+// Replay is a Controller that plays back a precomputed circuit schedule,
+// skipping establishments whose circuits have already drained — exactly the
+// semantics of ocs.ExecAllStop, which makes it the differential-testing
+// bridge between the analytic executor and this simulator.
+type Replay struct {
+	schedule ocs.CircuitSchedule
+	pos      int
+}
+
+// NewReplay returns a Replay controller over cs.
+func NewReplay(cs ocs.CircuitSchedule) *Replay {
+	return &Replay{schedule: cs}
+}
+
+// Next implements Controller.
+func (r *Replay) Next(s State) Decision {
+	for r.pos < len(r.schedule) {
+		a := r.schedule[r.pos]
+		r.pos++
+		for i, j := range a.Perm {
+			if j != -1 && s.Remaining.At(i, j) > 0 {
+				return Decision{Perm: a.Perm, Budget: a.Dur}
+			}
+		}
+	}
+	return Decision{}
+}
+
+// GreedyBottleneck is a reactive controller: each time the switch idles, it
+// establishes the bottleneck-optimal (max–min) perfect matching of the
+// stuffed remaining demand and holds it until its first drain. It is the
+// closed-loop analogue of the BvN-based schedulers: no schedule is computed
+// in advance, decisions use only observed state.
+type GreedyBottleneck struct{}
+
+// Next implements Controller.
+func (GreedyBottleneck) Next(s State) Decision {
+	if s.Remaining.IsZero() {
+		return Decision{}
+	}
+	stuffed := matrix.StuffPreferNonZero(s.Remaining)
+	perm, _, err := matching.BottleneckPerfect(stuffed)
+	if err != nil {
+		return Decision{}
+	}
+	// Drop circuits with no real demand; keep the rest up until the first
+	// real drain (budget 0 would run to the max, holding ports pointlessly
+	// is harmless but budgeting to the min reacts faster).
+	held := make([]int, len(perm))
+	var minRem int64 = -1
+	for i, j := range perm {
+		held[i] = -1
+		if s.Remaining.At(i, j) > 0 {
+			held[i] = j
+			if r := s.Remaining.At(i, j); minRem == -1 || r < minRem {
+				minRem = r
+			}
+		}
+	}
+	if minRem == -1 {
+		return Decision{}
+	}
+	return Decision{Perm: held, Budget: minRem}
+}
+
+// GreedyMaxWeight is the Helios/c-Through reactive policy: establish the
+// maximum-weight matching of the remaining demand and hold it for a fixed
+// slot.
+type GreedyMaxWeight struct {
+	// Slot is the hold duration per establishment; it must be positive.
+	Slot int64
+}
+
+// Next implements Controller.
+func (g GreedyMaxWeight) Next(s State) Decision {
+	if s.Remaining.IsZero() || g.Slot <= 0 {
+		return Decision{}
+	}
+	perm, weight := matching.MaxWeightPerfect(s.Remaining)
+	if weight == 0 {
+		return Decision{}
+	}
+	held := make([]int, len(perm))
+	for i, j := range perm {
+		held[i] = -1
+		if s.Remaining.At(i, j) > 0 {
+			held[i] = j
+		}
+	}
+	return Decision{Perm: held, Budget: g.Slot}
+}

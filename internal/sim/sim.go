@@ -1,0 +1,155 @@
+// Package sim is a discrete-event simulator of a single optical circuit
+// switch, independent of the analytic executors in the ocs package. A
+// Controller is invoked whenever the switch goes idle and decides the next
+// circuit establishment from the observed remaining demand; the simulator
+// enforces the all-stop reconfiguration delay, drains demand along
+// established circuits, ends an establishment when every circuit has
+// drained or its duration budget expires, and records the event log.
+//
+// Its primary roles are closed-loop (reactive) scheduling — controllers
+// that decide as the switch runs, the way deployed systems do — and
+// differential testing: replaying a precomputed circuit schedule through
+// the simulator must reproduce ocs.ExecAllStop tick for tick.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"reco/internal/matrix"
+	"reco/internal/ocs"
+	"reco/internal/schedule"
+)
+
+// ErrController reports a controller decision that violates the switch
+// model.
+var ErrController = errors.New("sim: invalid controller decision")
+
+// ErrStalled reports a run in which the controller stopped while demand
+// remained.
+var ErrStalled = errors.New("sim: controller stopped with demand remaining")
+
+// State is the switch state a controller observes.
+type State struct {
+	// Now is the current simulation time in ticks.
+	Now int64
+	// Remaining is the undrained demand. Controllers must not mutate it;
+	// the simulator hands out a defensive copy.
+	Remaining *matrix.Matrix
+	// Establishments counts establishments so far.
+	Establishments int
+}
+
+// Decision is a controller's next move.
+type Decision struct {
+	// Perm is the circuit establishment (Perm[i] = egress for ingress i,
+	// -1 idle). A nil Perm stops the simulation.
+	Perm []int
+	// Budget caps the establishment's duration; 0 means "until every
+	// matched circuit drains its pair".
+	Budget int64
+}
+
+// Controller decides establishments as the switch runs.
+type Controller interface {
+	// Next is called whenever the switch is idle. Returning Decision{} (nil
+	// Perm) ends the run.
+	Next(s State) Decision
+}
+
+// Trace is one establishment in the event log.
+type Trace struct {
+	// Start is when the reconfiguration for this establishment began.
+	Start int64
+	// Up is when circuits began transmitting (Start + delta).
+	Up int64
+	// Down is when the establishment ended.
+	Down int64
+	// Perm is the establishment.
+	Perm []int
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	// CCT is when the last demand drained (0 for empty demand).
+	CCT int64
+	// Establishments is the number of circuit establishments performed.
+	Establishments int
+	// ConfTime is Establishments·delta.
+	ConfTime int64
+	// Flows is the flow-level schedule observed (coflow 0).
+	Flows schedule.FlowSchedule
+	// Log is the establishment event log.
+	Log []Trace
+}
+
+// Run simulates the controller against demand d with reconfiguration delay
+// delta until the demand drains or the controller stops.
+func Run(d *matrix.Matrix, ctrl Controller, delta int64) (*Result, error) {
+	if delta < 0 {
+		return nil, fmt.Errorf("%w: negative delta %d", ErrController, delta)
+	}
+	if ctrl == nil {
+		return nil, fmt.Errorf("%w: nil controller", ErrController)
+	}
+	n := d.N()
+	rem := d.Clone()
+	res := &Result{}
+	var now int64
+
+	for !rem.IsZero() {
+		dec := ctrl.Next(State{Now: now, Remaining: rem.Clone(), Establishments: res.Establishments})
+		if dec.Perm == nil {
+			return res, fmt.Errorf("%w: %d ticks left", ErrStalled, rem.Total())
+		}
+		a := ocs.Assignment{Perm: dec.Perm, Dur: 1} // duration checked below
+		if err := a.Validate(n); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrController, err)
+		}
+		if dec.Budget < 0 {
+			return nil, fmt.Errorf("%w: negative budget %d", ErrController, dec.Budget)
+		}
+		// Active circuits and the establishment's natural end.
+		var maxRem int64
+		for i, j := range dec.Perm {
+			if j == -1 {
+				continue
+			}
+			if r := rem.At(i, j); r > maxRem {
+				maxRem = r
+			}
+		}
+		if maxRem == 0 {
+			return nil, fmt.Errorf("%w: establishment carries no demand", ErrController)
+		}
+		active := maxRem
+		if dec.Budget > 0 && dec.Budget < active {
+			active = dec.Budget
+		}
+		start := now
+		now += delta
+		res.Establishments++
+		for i, j := range dec.Perm {
+			if j == -1 {
+				continue
+			}
+			r := rem.At(i, j)
+			if r == 0 {
+				continue
+			}
+			send := active
+			if r < send {
+				send = r
+			}
+			rem.Set(i, j, r-send)
+			res.Flows = append(res.Flows, schedule.FlowInterval{
+				Start: now, End: now + send, In: i, Out: j, Coflow: 0,
+			})
+		}
+		now += active
+		res.Log = append(res.Log, Trace{Start: start, Up: start + delta, Down: now, Perm: append([]int(nil), dec.Perm...)})
+	}
+	res.CCT = now
+	res.ConfTime = int64(res.Establishments) * delta
+	return res, nil
+}

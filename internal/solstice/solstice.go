@@ -1,0 +1,68 @@
+// Package solstice implements the Solstice circuit-scheduling algorithm of
+// Liu et al. (CoNEXT 2015), the single-coflow baseline the paper evaluates
+// Reco-Sin against: QuickStuff followed by threshold-halving Slicing.
+package solstice
+
+import (
+	"errors"
+	"fmt"
+
+	"reco/internal/matching"
+	"reco/internal/matrix"
+	"reco/internal/ocs"
+)
+
+// ErrStuck reports that slicing failed to make progress, which would
+// indicate a broken doubly stochastic invariant.
+var ErrStuck = errors.New("solstice: slicing stuck")
+
+// Schedule computes a Solstice circuit schedule for demand matrix d.
+//
+// QuickStuff makes the matrix doubly stochastic, preferring to add demand to
+// entries that are already non-zero so the support stays small. Slicing then
+// repeatedly halves a duration threshold r (starting from the largest power
+// of two not exceeding the maximum entry) and, whenever a perfect matching
+// exists among entries of value at least r, emits that matching as a circuit
+// assignment of duration r and subtracts it. Integer demands guarantee
+// termination: at r = 1 a doubly stochastic residual always has a perfect
+// matching on its support (Birkhoff's theorem).
+func Schedule(d *matrix.Matrix) (ocs.CircuitSchedule, error) {
+	if d.IsZero() {
+		return nil, nil
+	}
+	// Single-port coflows are served one flow at a time — optimal for them
+	// (Sec. V-A of the Reco paper), and what a deployed Solstice does rather
+	// than stuffing an almost-empty matrix full of junk demand.
+	if cs, ok := ocs.SinglePortSchedule(d); ok {
+		return cs, nil
+	}
+	res := matrix.StuffPreferNonZero(d)
+
+	r := int64(1)
+	for r*2 <= res.MaxEntry() {
+		r *= 2
+	}
+
+	var cs ocs.CircuitSchedule
+	for !res.IsZero() {
+		perm, err := matching.PerfectAtLeast(res, r)
+		if errors.Is(err, matching.ErrNoPerfectMatching) {
+			if r == 1 {
+				return nil, fmt.Errorf("%w: no perfect matching at r=1", ErrStuck)
+			}
+			r /= 2
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("solstice: slicing: %w", err)
+		}
+		for i, j := range perm {
+			res.Add(i, j, -r)
+		}
+		if res.HasNegative() {
+			return nil, fmt.Errorf("%w: negative residual after slice", ErrStuck)
+		}
+		cs = append(cs, ocs.Assignment{Perm: perm, Dur: r})
+	}
+	return cs, nil
+}

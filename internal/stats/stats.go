@@ -1,0 +1,127 @@
+// Package stats provides the small statistical toolkit the evaluation
+// needs: means, percentiles, CDF points, and normalized-ratio helpers for
+// the paper's "Normalized CCT" metric (Sec. V-A).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty reports an aggregate over no samples.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using the
+// nearest-rank method the paper's 95-percentile figures imply.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of [0,100]", p)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p == 0 {
+		return sorted[0], nil
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1], nil
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF returns the empirical CDF of xs as sorted (value, fraction) points,
+// one per distinct value, matching the per-class CDF curves of Fig. 4.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var out []CDFPoint
+	for i, v := range sorted {
+		frac := float64(i+1) / float64(len(sorted))
+		if len(out) > 0 && out[len(out)-1].Value == v {
+			out[len(out)-1].Fraction = frac
+			continue
+		}
+		out = append(out, CDFPoint{Value: v, Fraction: frac})
+	}
+	return out
+}
+
+// Normalize divides each sample by the matching baseline value: the paper's
+// "Normalized CCT of algorithm A" is CCT_A / CCT_Reco. Zero baselines with a
+// zero numerator normalize to 1; zero baselines otherwise are an error.
+func Normalize(xs, baseline []float64) ([]float64, error) {
+	if len(xs) != len(baseline) {
+		return nil, fmt.Errorf("stats: %d samples vs %d baselines", len(xs), len(baseline))
+	}
+	out := make([]float64, len(xs))
+	for i := range xs {
+		switch {
+		case baseline[i] != 0:
+			out[i] = xs[i] / baseline[i]
+		case xs[i] == 0:
+			out[i] = 1
+		default:
+			return nil, fmt.Errorf("stats: zero baseline for non-zero sample %d", i)
+		}
+	}
+	return out, nil
+}
+
+// Ratio returns a/b, treating 0/0 as 1.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// Int64s converts an int64 sample slice to float64 for the aggregates above.
+func Int64s(xs []int64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// WeightedSum returns Σ w[i]·xs[i]; missing weights default to 1.
+func WeightedSum(xs []float64, w []float64) float64 {
+	var s float64
+	for i, x := range xs {
+		wi := 1.0
+		if i < len(w) {
+			wi = w[i]
+		}
+		s += wi * x
+	}
+	return s
+}

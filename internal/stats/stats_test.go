@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty mean err = %v", err)
+	}
+	got, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || got != 2.5 {
+		t.Errorf("Mean = %v, %v; want 2.5", got, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {20, 1}, {40, 2}, {50, 3}, {95, 5}, {100, 5},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.p, err)
+		}
+		if got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty percentile err = %v", err)
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("percentile > 100 accepted")
+	}
+	// The input must not be reordered.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 3, 2})
+	want := []CDFPoint{{1, 0.25}, {2, 0.5}, {3, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("CDF = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("point %d = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	if CDF(nil) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out, err := Normalize([]float64{10, 0, 6}, []float64{5, 0, 3})
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	for i, want := range []float64{2, 1, 2} {
+		if out[i] != want {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want)
+		}
+	}
+	if _, err := Normalize([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Normalize([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero baseline for non-zero sample accepted")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("Ratio(6,3) != 2")
+	}
+	if Ratio(0, 0) != 1 {
+		t.Error("Ratio(0,0) != 1")
+	}
+	if !math.IsInf(Ratio(1, 0), 1) {
+		t.Error("Ratio(1,0) not +Inf")
+	}
+}
+
+func TestInt64sAndWeightedSum(t *testing.T) {
+	xs := Int64s([]int64{1, 2, 3})
+	if xs[2] != 3 {
+		t.Error("Int64s conversion wrong")
+	}
+	if got := WeightedSum(xs, []float64{2, 2}); got != 2+4+3 {
+		t.Errorf("WeightedSum = %v, want 9", got)
+	}
+}

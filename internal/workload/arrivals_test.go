@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestArrivalTimesValidation(t *testing.T) {
+	if _, err := ArrivalTimes(0, 10, 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("n=0: %v", err)
+	}
+	if _, err := ArrivalTimes(3, -1, 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative gap: %v", err)
+	}
+}
+
+func TestArrivalTimesProperties(t *testing.T) {
+	ts, err := ArrivalTimes(100, 500, 7)
+	if err != nil {
+		t.Fatalf("ArrivalTimes: %v", err)
+	}
+	if ts[0] != 0 {
+		t.Errorf("first arrival at %d, want 0", ts[0])
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] < ts[i-1] {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+	}
+	// Mean gap roughly matches (exponential, 100 samples: generous bounds).
+	meanGap := float64(ts[len(ts)-1]) / float64(len(ts)-1)
+	if meanGap < 250 || meanGap > 1000 {
+		t.Errorf("mean gap %.0f far from 500", meanGap)
+	}
+	// Deterministic per seed.
+	again, err := ArrivalTimes(100, 500, 7)
+	if err != nil {
+		t.Fatalf("ArrivalTimes: %v", err)
+	}
+	for i := range ts {
+		if ts[i] != again[i] {
+			t.Fatal("same seed produced different arrivals")
+		}
+	}
+}
+
+func TestArrivalTimesZeroGap(t *testing.T) {
+	ts, err := ArrivalTimes(5, 0, 1)
+	if err != nil {
+		t.Fatalf("ArrivalTimes: %v", err)
+	}
+	for _, v := range ts {
+		if v != 0 {
+			t.Errorf("zero gap arrival at %d", v)
+		}
+	}
+}
+
+func TestRescaleValidation(t *testing.T) {
+	coflows, err := Generate(GenConfig{N: 10, NumCoflows: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if _, err := Rescale(coflows, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("newN=0: %v", err)
+	}
+	if _, err := Rescale(coflows, 20); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("growing fabric: %v", err)
+	}
+}
+
+func TestRescalePreservesTotals(t *testing.T) {
+	coflows, err := Generate(GenConfig{N: 24, NumCoflows: 12, Seed: 3})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	small, err := Rescale(coflows, 8)
+	if err != nil {
+		t.Fatalf("Rescale: %v", err)
+	}
+	if len(small) != len(coflows) {
+		t.Fatalf("coflow count changed: %d -> %d", len(coflows), len(small))
+	}
+	for k := range coflows {
+		if small[k].Demand.N() != 8 {
+			t.Fatalf("coflow %d dimension %d, want 8", k, small[k].Demand.N())
+		}
+		if got, want := small[k].Demand.Total(), coflows[k].Demand.Total(); got != want {
+			t.Fatalf("coflow %d total %d, want %d", k, got, want)
+		}
+		if small[k].ID != coflows[k].ID || small[k].Weight != coflows[k].Weight {
+			t.Fatalf("coflow %d metadata changed", k)
+		}
+	}
+}
+
+func TestRescaleIdentity(t *testing.T) {
+	coflows, err := Generate(GenConfig{N: 12, NumCoflows: 5, Seed: 2})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	same, err := Rescale(coflows, 12)
+	if err != nil {
+		t.Fatalf("Rescale: %v", err)
+	}
+	for k := range coflows {
+		if !same[k].Demand.Equal(coflows[k].Demand) {
+			t.Fatalf("identity rescale changed coflow %d", k)
+		}
+	}
+}

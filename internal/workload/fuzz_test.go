@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace hardens the trace parser against malformed input: whatever
+// the bytes, it must either return coflows with consistent dimensions or an
+// error — never panic, never produce a matrix that violates the fabric size.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("3 2\n1 0 2 1 2 1 3:6.0\n2 100 1 3 2 1:3.0 2:1.5\n")
+	f.Add("1 1\n1 0 1 1 1 1:0.5\n")
+	f.Add("")
+	f.Add("3 1\n")
+	f.Add("2 1\n1 0 1 0 1 0:1.0\n")           // 0-indexed racks
+	f.Add("2 1\n1 0 1 9 1 1:1.0\n")           // rack out of range
+	f.Add("x y\n")                            // bad header
+	f.Add("3 1\n1 0 1 1 1 2:NaN\n")           // bad size
+	f.Add("3 1\n1 0 2 1 2 1 3:6.0 junk\n")    // trailing garbage
+	f.Add("3 1\n1 0 1 1 2 1:1e308 2:1e308\n") // overflow-ish sizes
+
+	f.Fuzz(func(t *testing.T, input string) {
+		coflows, err := ParseTrace(strings.NewReader(input), 80)
+		if err != nil {
+			return
+		}
+		for _, c := range coflows {
+			if c.Demand == nil {
+				t.Fatal("nil demand without error")
+			}
+			if c.Demand.HasNegative() {
+				t.Fatal("negative demand parsed")
+			}
+		}
+		if len(coflows) > 1 {
+			n := coflows[0].Demand.N()
+			for _, c := range coflows[1:] {
+				if c.Demand.N() != n {
+					t.Fatalf("inconsistent fabric sizes %d vs %d", n, c.Demand.N())
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenTrace parses the checked-in synthetic trace (the portable
+// coflow-benchmark rendering of the default workload, produced by
+// `recotrace -gen -n 150 -coflows 526 -seed 1`) and verifies it still
+// carries the paper's published workload statistics. This pins the
+// generator, the writer and the parser together: a change to any of them
+// that breaks the calibration fails here.
+func TestGoldenTrace(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "synthetic-fb-150.txt"))
+	if err != nil {
+		t.Fatalf("opening golden trace: %v", err)
+	}
+	defer f.Close()
+	coflows, err := ParseTrace(f, DefaultTicksPerMB)
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	if len(coflows) != 526 {
+		t.Fatalf("got %d coflows, want 526", len(coflows))
+	}
+	s := Summarize(coflows)
+
+	near := func(name string, got, want, tol float64) {
+		t.Helper()
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s = %.2f, want %.2f +- %.1f", name, got, want, tol)
+		}
+	}
+	// Table I.
+	near("sparse%", s.ClassPercent(Sparse), 86.31, 3)
+	near("normal%", s.ClassPercent(Normal), 5.13, 3)
+	near("dense%", s.ClassPercent(Dense), 8.56, 3)
+	// Table II counts.
+	near("S2S%", s.ModePercent(S2S), 23.38, 3)
+	near("S2M%", s.ModePercent(S2M), 9.89, 3)
+	near("M2S%", s.ModePercent(M2S), 40.11, 3)
+	near("M2M%", s.ModePercent(M2M), 26.62, 3)
+	// Table II byte shares.
+	if got := s.BytesPercent(M2M); got < 99 {
+		t.Errorf("M2M byte share = %.3f%%, want > 99%%", got)
+	}
+	// Every coflow fits the 150-port fabric and is non-empty.
+	for _, c := range coflows {
+		if c.Demand.N() != 150 {
+			t.Fatalf("coflow %d has dimension %d", c.ID, c.Demand.N())
+		}
+		if c.Demand.IsZero() {
+			t.Fatalf("coflow %d is empty", c.ID)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"fmt"
+
+	"reco/internal/matrix"
+)
+
+// Rescale folds a workload onto a smaller fabric: port p of the original
+// N-port fabric maps to p mod newN, and demands that land on the same pair
+// accumulate. This is how the real 150-rack Facebook trace is run through
+// experiments whose LP component needs a moderate port count — aggregate
+// load per port grows, but the coflow structure (modes, relative sizes,
+// inter-coflow contention) is preserved.
+//
+// Growing the fabric is not supported: newN must be at most the input's
+// port count.
+func Rescale(coflows []Coflow, newN int) ([]Coflow, error) {
+	if newN < 1 {
+		return nil, fmt.Errorf("%w: newN=%d", ErrBadConfig, newN)
+	}
+	out := make([]Coflow, len(coflows))
+	for idx, c := range coflows {
+		n := c.Demand.N()
+		if newN > n {
+			return nil, fmt.Errorf("%w: cannot grow fabric from %d to %d ports", ErrBadConfig, n, newN)
+		}
+		d, err := matrix.New(newN)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if v := c.Demand.At(i, j); v > 0 {
+					d.Add(i%newN, j%newN, v)
+				}
+			}
+		}
+		out[idx] = Coflow{ID: c.ID, Weight: c.Weight, Demand: d}
+	}
+	return out, nil
+}
