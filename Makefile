@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench verify results examples fmt vet clean
+.PHONY: all build test test-short race cover bench bench-json verify results examples fmt vet clean
 
 all: build test
 
@@ -17,13 +17,17 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/api/ ./cmd/recoctl/ ./internal/sim/ .
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Timing records for the perf trajectory (name, ns/op, allocs/op, workers).
+bench-json:
+	$(GO) run ./cmd/recobench -bench -exp all > BENCH_experiments.json
 
 # Re-check every qualitative claim of the paper against a fresh run (~30 s).
 verify:

@@ -11,18 +11,24 @@
 // Scale knobs (-n, -coflows, -muln, -mulcoflows, -batches, -delta, -c,
 // -seed) map directly onto experiments.Config; see DESIGN.md §4 for the
 // experiment index and EXPERIMENTS.md for recorded paper-vs-measured runs.
+// -workers sets the per-experiment trial pool (tables are identical at any
+// worker count; see docs/PARALLEL.md), and -bench emits BENCH_*.json-style
+// timing records instead of tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"testing"
 	"time"
 
 	"reco/internal/experiments"
+	"reco/internal/parallel"
 )
 
 func main() {
@@ -43,9 +49,11 @@ func run() int {
 		mulK       = flag.Int("mulcoflows", 0, "coflows per multi-coflow batch (default 20)")
 		mulBatches = flag.Int("batches", 0, "batches per multi-coflow data point (default 3)")
 		timing     = flag.Bool("time", false, "print wall-clock time per experiment")
-		parallel   = flag.Int("parallel", 1, "experiments to run concurrently (output order is preserved)")
+		concurrent = flag.Int("parallel", 1, "experiments to run concurrently (output order is preserved)")
+		workersN   = flag.Int("workers", 0, "trial-level workers per experiment (0 = RECO_WORKERS env, then GOMAXPROCS)")
 		outDir     = flag.String("outdir", "", "also write each experiment's CSV to <outdir>/<id>.csv")
 		verify     = flag.Bool("verify", false, "verify the paper's qualitative shapes and exit")
+		bench      = flag.Bool("bench", false, "emit JSON timing records (name, ns/op, allocs/op, workers) instead of tables")
 	)
 	flag.Parse()
 
@@ -55,6 +63,7 @@ func run() int {
 			Seed: *seed, Delta: *delta, C: *c,
 			SingleN: *singleN, SingleCoflows: *singleK,
 			MulN: *mulN, MulCoflows: *mulK, MulBatches: *mulBatches,
+			Workers: *workersN,
 		}
 		errs := experiments.VerifyShapes(cfg)
 		for _, err := range errs {
@@ -87,6 +96,7 @@ func run() int {
 		MulN:          *mulN,
 		MulCoflows:    *mulK,
 		MulBatches:    *mulBatches,
+		Workers:       *workersN,
 	}
 
 	var ids []string
@@ -100,6 +110,10 @@ func run() int {
 		ids = []string{*exp}
 	}
 
+	if *bench {
+		return runBench(registry, ids, cfg)
+	}
+
 	type outcome struct {
 		table   *experiments.Table
 		err     error
@@ -107,7 +121,7 @@ func run() int {
 	}
 	results := make([]outcome, len(ids))
 
-	workers := *parallel
+	workers := *concurrent
 	if workers < 1 {
 		workers = 1
 	}
@@ -161,6 +175,53 @@ func run() int {
 			fmt.Printf("(%s took %v)\n", id, res.elapsed.Round(time.Millisecond))
 		}
 		fmt.Println()
+	}
+	return 0
+}
+
+// benchRecord matches the BENCH_*.json schema used to track the perf
+// trajectory across revisions: one record per experiment run.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Workers     int     `json:"workers"`
+}
+
+// runBench times each selected experiment via testing.Benchmark (so slow
+// experiments run once and fast ones iterate to a stable estimate) and
+// writes the records as a JSON array on stdout.
+func runBench(registry map[string]experiments.Runner, ids []string, cfg experiments.Config) int {
+	effective := parallel.Workers(cfg.Workers)
+	records := make([]benchRecord, 0, len(ids))
+	for _, id := range ids {
+		fn := registry[id]
+		var runErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fn(cfg); err != nil {
+					runErr = err
+					return
+				}
+			}
+		})
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "recobench: %s: %v\n", id, runErr)
+			return 1
+		}
+		records = append(records, benchRecord{
+			Name:        id,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			Workers:     effective,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		fmt.Fprintf(os.Stderr, "recobench: %v\n", err)
+		return 1
 	}
 	return 0
 }

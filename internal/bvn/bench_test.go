@@ -1,0 +1,47 @@
+package bvn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"reco/internal/matrix"
+)
+
+// BenchmarkBvN decomposes stuffed random demand matrices with both
+// extraction strategies across the experiment-scale fabric sizes.
+func BenchmarkBvN(b *testing.B) {
+	for _, s := range []struct {
+		name     string
+		strategy Strategy
+	}{{"maxmin", MaxMin}, {"firstfit", FirstFit}} {
+		for _, n := range []int{16, 32, 64} {
+			b.Run(fmt.Sprintf("%s/n=%d", s.name, n), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(int64(n)))
+				m, err := matrix.New(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						if rng.Float64() < 0.3 {
+							m.Set(i, j, 1+rng.Int63n(500))
+						}
+					}
+				}
+				stuffed := matrix.Stuff(m)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					terms, err := Decompose(stuffed, s.strategy)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(terms) == 0 {
+						b.Fatal("empty decomposition")
+					}
+				}
+			})
+		}
+	}
+}

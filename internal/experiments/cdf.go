@@ -32,7 +32,7 @@ func cdfSingle(cfg Config, id, titleFmt string, pick func(singleMetrics) (reco, 
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", id, err)
 	}
-	ms, err := runSingle(coflows, cfg.Delta)
+	ms, err := runSingle(coflows, cfg.Delta, cfg.workers())
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", id, err)
 	}

@@ -14,6 +14,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"reco/internal/parallel"
 )
 
 // Config parameterizes all experiments. The zero value takes the documented
@@ -41,6 +43,17 @@ type Config struct {
 	// MulBatches is the number of independent batches averaged per
 	// multi-coflow data point. Default 3.
 	MulBatches int
+	// Workers bounds the fan-out of every trial sweep. Zero resolves
+	// through parallel.Workers: the RECO_WORKERS environment override,
+	// then GOMAXPROCS. The rendered tables are identical for every worker
+	// count — trials derive their randomness from the seed and their trial
+	// index, and results are collected in trial order (docs/PARALLEL.md).
+	Workers int
+}
+
+// workers resolves the effective fan-out bound for this configuration.
+func (c Config) workers() int {
+	return parallel.Workers(c.Workers)
 }
 
 func (c Config) withDefaults() Config {

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"reco/internal/core"
 	"reco/internal/eclipse"
@@ -12,6 +11,7 @@ import (
 	"reco/internal/online"
 	"reco/internal/ordering"
 	"reco/internal/packet"
+	"reco/internal/parallel"
 	"reco/internal/solstice"
 	"reco/internal/stats"
 	"reco/internal/sunflow"
@@ -38,62 +38,75 @@ func ExtSingle(cfg Config) (*Table, error) {
 			"Helios slot = 4*delta",
 		},
 	}
+	type sample struct {
+		class                             workload.Class
+		reco, sol, sun, tmsb, helios, ecl float64
+	}
+	samples, err := parallel.Map(cfg.workers(), len(coflows), func(i int) (sample, error) {
+		d := coflows[i].Demand
+		s := sample{class: workload.Classify(d)}
+		var err error
+
+		if s.reco, err = coreRecoSin(d, cfg.Delta); err != nil {
+			return s, err
+		}
+		if s.sol, err = solsticeCCT(d, cfg.Delta); err != nil {
+			return s, err
+		}
+
+		sun, err := sunflow.Schedule(d, cfg.Delta)
+		if err != nil {
+			return s, fmt.Errorf("ext-single sunflow: %w", err)
+		}
+		s.sun = float64(sun.CCT)
+
+		bvnCS, err := tms.ScheduleBvN(d)
+		if err != nil {
+			return s, fmt.Errorf("ext-single tms: %w", err)
+		}
+		bvnRes, err := ocs.ExecAllStop(d, bvnCS, cfg.Delta)
+		if err != nil {
+			return s, fmt.Errorf("ext-single tms exec: %w", err)
+		}
+		s.tmsb = float64(bvnRes.CCT)
+
+		helCS, err := tms.ScheduleHelios(d, 4*cfg.Delta)
+		if err != nil {
+			return s, fmt.Errorf("ext-single helios: %w", err)
+		}
+		helRes, err := ocs.ExecAllStop(d, helCS, cfg.Delta)
+		if err != nil {
+			return s, fmt.Errorf("ext-single helios exec: %w", err)
+		}
+		s.helios = float64(helRes.CCT)
+
+		eclCS, err := eclipse.Schedule(d, cfg.Delta)
+		if err != nil {
+			return s, fmt.Errorf("ext-single eclipse: %w", err)
+		}
+		eclRes, err := ocs.ExecAllStop(d, eclCS, cfg.Delta)
+		if err != nil {
+			return s, fmt.Errorf("ext-single eclipse exec: %w", err)
+		}
+		s.ecl = float64(eclRes.CCT)
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	type acc struct{ reco, sol, sun, tmsb, helios, ecl []float64 }
 	byClass := map[workload.Class]*acc{}
 	for _, cl := range classOrder {
 		byClass[cl] = &acc{}
 	}
-	for _, c := range coflows {
-		d := c.Demand
-		a := byClass[workload.Classify(d)]
-
-		recoCCT, err := coreRecoSin(d, cfg.Delta)
-		if err != nil {
-			return nil, err
-		}
-		a.reco = append(a.reco, recoCCT)
-
-		solCCT, err := solsticeCCT(d, cfg.Delta)
-		if err != nil {
-			return nil, err
-		}
-		a.sol = append(a.sol, solCCT)
-
-		sun, err := sunflow.Schedule(d, cfg.Delta)
-		if err != nil {
-			return nil, fmt.Errorf("ext-single sunflow: %w", err)
-		}
-		a.sun = append(a.sun, float64(sun.CCT))
-
-		bvnCS, err := tms.ScheduleBvN(d)
-		if err != nil {
-			return nil, fmt.Errorf("ext-single tms: %w", err)
-		}
-		bvnRes, err := ocs.ExecAllStop(d, bvnCS, cfg.Delta)
-		if err != nil {
-			return nil, fmt.Errorf("ext-single tms exec: %w", err)
-		}
-		a.tmsb = append(a.tmsb, float64(bvnRes.CCT))
-
-		helCS, err := tms.ScheduleHelios(d, 4*cfg.Delta)
-		if err != nil {
-			return nil, fmt.Errorf("ext-single helios: %w", err)
-		}
-		helRes, err := ocs.ExecAllStop(d, helCS, cfg.Delta)
-		if err != nil {
-			return nil, fmt.Errorf("ext-single helios exec: %w", err)
-		}
-		a.helios = append(a.helios, float64(helRes.CCT))
-
-		eclCS, err := eclipse.Schedule(d, cfg.Delta)
-		if err != nil {
-			return nil, fmt.Errorf("ext-single eclipse: %w", err)
-		}
-		eclRes, err := ocs.ExecAllStop(d, eclCS, cfg.Delta)
-		if err != nil {
-			return nil, fmt.Errorf("ext-single eclipse exec: %w", err)
-		}
-		a.ecl = append(a.ecl, float64(eclRes.CCT))
+	for _, s := range samples {
+		a := byClass[s.class]
+		a.reco = append(a.reco, s.reco)
+		a.sol = append(a.sol, s.sol)
+		a.sun = append(a.sun, s.sun)
+		a.tmsb = append(a.tmsb, s.tmsb)
+		a.helios = append(a.helios, s.helios)
+		a.ecl = append(a.ecl, s.ecl)
 	}
 	for _, cl := range classOrder {
 		a := byClass[cl]
@@ -138,7 +151,8 @@ func solsticeCCT(d *matrix.Matrix, delta int64) (float64, error) {
 // ExtOnline compares the online controller policies (Sec. VIII's future
 // direction): FIFO and SEBF serving one coflow at a time with Reco-Sin,
 // versus batching all pending coflows through Reco-Mul, on a Poisson-like
-// arrival stream.
+// arrival stream. The policies replay the identical arrival stream, one
+// simulation per trial.
 func ExtOnline(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
@@ -153,7 +167,7 @@ func ExtOnline(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ext-online: %w", err)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x0411))
+	rng := parallel.Rand(cfg.Seed, saltOnline)
 	arrivals := make([]online.Arrival, len(coflows))
 	var at int64
 	for i, c := range coflows {
@@ -162,19 +176,25 @@ func ExtOnline(cfg Config) (*Table, error) {
 		// switch loaded without unbounded queueing.
 		at += rng.Int63n(4 * cfg.C * cfg.Delta)
 	}
-	for _, pol := range []online.Policy{online.FIFO{}, online.SEBF{}, online.Batch{}, online.DisjointBatch{}} {
+	policies := []online.Policy{online.FIFO{}, online.SEBF{}, online.Batch{}, online.DisjointBatch{}}
+	rows, err := parallel.Map(cfg.workers(), len(policies), func(i int) (Row, error) {
+		pol := policies[i]
 		res, err := online.Simulate(arrivals, pol, cfg.Delta, cfg.C)
 		if err != nil {
-			return nil, fmt.Errorf("ext-online %s: %w", pol.Name(), err)
+			return Row{}, fmt.Errorf("ext-online %s: %w", pol.Name(), err)
 		}
 		vals := stats.Int64s(res.CCTs)
 		mean, err := stats.Mean(vals)
 		if err != nil {
-			return nil, fmt.Errorf("ext-online %s: %w", pol.Name(), err)
+			return Row{}, fmt.Errorf("ext-online %s: %w", pol.Name(), err)
 		}
 		p95, _ := stats.Percentile(vals, 95)
-		t.AddRow(pol.Name(), mean, p95, float64(res.Reconfigs), float64(res.ServiceUnits))
+		return Row{Label: pol.Name(), Cells: []float64{mean, p95, float64(res.Reconfigs), float64(res.ServiceUnits)}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -202,21 +222,41 @@ func ExtHybrid(cfg Config) (*Table, error) {
 	// switch when its slowed-down transfer still beats its amortized share
 	// of a reconfiguration, which crosses over near delta/slowdown.
 	thresholds := []int64{0, cfg.Delta / 16, cfg.Delta / 4, cfg.Delta, 4 * cfg.Delta, 16 * cfg.Delta, 64 * cfg.Delta}
-	for _, threshold := range thresholds {
+	// One trial per (threshold, coflow) pair.
+	type sample struct {
+		cct                     float64
+		reconfigs               int
+		ocsDemand, packetDemand int64
+	}
+	trials := len(thresholds) * len(coflows)
+	samples, err := parallel.Map(cfg.workers(), trials, func(i int) (sample, error) {
+		ti, ci := i/len(coflows), i%len(coflows)
+		res, err := hybrid.Schedule(coflows[ci].Demand, hybrid.Config{
+			Delta: cfg.Delta, Threshold: thresholds[ti], PacketSlowdown: 10,
+		})
+		if err != nil {
+			return sample{}, fmt.Errorf("ext-hybrid threshold %d: %w", thresholds[ti], err)
+		}
+		return sample{
+			cct:          float64(res.CCT),
+			reconfigs:    res.OCSReconfigs,
+			ocsDemand:    res.OCSDemand,
+			packetDemand: res.PacketDemand,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, threshold := range thresholds {
 		var ccts []float64
 		var reconfigs int
 		var ocsDemand, packetDemand int64
-		for _, c := range coflows {
-			res, err := hybrid.Schedule(c.Demand, hybrid.Config{
-				Delta: cfg.Delta, Threshold: threshold, PacketSlowdown: 10,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("ext-hybrid threshold %d: %w", threshold, err)
-			}
-			ccts = append(ccts, float64(res.CCT))
-			reconfigs += res.OCSReconfigs
-			ocsDemand += res.OCSDemand
-			packetDemand += res.PacketDemand
+		for ci := range coflows {
+			s := samples[ti*len(coflows)+ci]
+			ccts = append(ccts, s.cct)
+			reconfigs += s.reconfigs
+			ocsDemand += s.ocsDemand
+			packetDemand += s.packetDemand
 		}
 		mean, err := stats.Mean(ccts)
 		if err != nil {
@@ -245,28 +285,38 @@ func ExtSunflowNAS(cfg Config) (*Table, error) {
 		Title:   fmt.Sprintf("Not-all-stop model: Reco-Sin vs Sunflow mean CCT (delta=%d)", cfg.Delta),
 		Columns: []string{"Reco-Sin(NAS)", "Sunflow", "Sunflow/Reco"},
 	}
+	type sample struct {
+		class     workload.Class
+		reco, sun float64
+	}
+	samples, err := parallel.Map(cfg.workers(), len(coflows), func(i int) (sample, error) {
+		d := coflows[i].Demand
+		cs, err := core.RecoSin(d, cfg.Delta)
+		if err != nil {
+			return sample{}, fmt.Errorf("ext-sunflow: %w", err)
+		}
+		nas, err := ocs.ExecNotAllStop(d, cs, cfg.Delta)
+		if err != nil {
+			return sample{}, fmt.Errorf("ext-sunflow: %w", err)
+		}
+		sun, err := sunflow.Schedule(d, cfg.Delta)
+		if err != nil {
+			return sample{}, fmt.Errorf("ext-sunflow: %w", err)
+		}
+		return sample{class: workload.Classify(d), reco: float64(nas.CCT), sun: float64(sun.CCT)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	type acc struct{ reco, sun []float64 }
 	byClass := map[workload.Class]*acc{}
 	for _, cl := range classOrder {
 		byClass[cl] = &acc{}
 	}
-	for _, c := range coflows {
-		d := c.Demand
-		cs, err := core.RecoSin(d, cfg.Delta)
-		if err != nil {
-			return nil, fmt.Errorf("ext-sunflow: %w", err)
-		}
-		nas, err := ocs.ExecNotAllStop(d, cs, cfg.Delta)
-		if err != nil {
-			return nil, fmt.Errorf("ext-sunflow: %w", err)
-		}
-		sun, err := sunflow.Schedule(d, cfg.Delta)
-		if err != nil {
-			return nil, fmt.Errorf("ext-sunflow: %w", err)
-		}
-		a := byClass[workload.Classify(d)]
-		a.reco = append(a.reco, float64(nas.CCT))
-		a.sun = append(a.sun, float64(sun.CCT))
+	for _, s := range samples {
+		a := byClass[s.class]
+		a.reco = append(a.reco, s.reco)
+		a.sun = append(a.sun, s.sun)
 	}
 	for _, cl := range classOrder {
 		a := byClass[cl]
@@ -293,28 +343,38 @@ func ExtOptics(cfg Config) (*Table, error) {
 		Title:   fmt.Sprintf("Reco-Mul CCT over the ideal electrical reference, vs delta (c=%d)", cfg.C),
 		Columns: []string{"Reco-Mul avg", "fluid avg", "ratio"},
 	}
-	var batches [][]*matrix.Matrix
-	for b := 0; b < cfg.MulBatches; b++ {
-		ds, err := mixedBatch(cfg, cfg.Seed+int64(b*41+23))
-		if err != nil {
-			return nil, fmt.Errorf("ext-optics: %w", err)
-		}
-		batches = append(batches, ds)
+	batches, err := parallel.Map(cfg.workers(), cfg.MulBatches, func(b int) ([]*matrix.Matrix, error) {
+		return mixedBatch(cfg, parallel.Seed(cfg.Seed, saltOptics, int64(b)))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ext-optics: %w", err)
 	}
-	for _, delta := range []int64{0, 10, 100, 1000} {
+	deltas := []int64{0, 10, 100, 1000}
+	type sample struct{ reco, fluid []float64 }
+	trials := len(deltas) * len(batches)
+	samples, err := parallel.Map(cfg.workers(), trials, func(i int) (sample, error) {
+		di, b := i/len(batches), i%len(batches)
+		ds := batches[b]
+		mul, err := core.ScheduleMul(ds, nil, deltas[di], cfg.C)
+		if err != nil {
+			return sample{}, fmt.Errorf("ext-optics delta=%d: %w", deltas[di], err)
+		}
+		order := ordering.SEBF(ds)
+		fluid, err := packet.FluidCCTs(ds, order)
+		if err != nil {
+			return sample{}, fmt.Errorf("ext-optics: %w", err)
+		}
+		return sample{reco: stats.Int64s(mul.CCTs), fluid: stats.Int64s(fluid)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, delta := range deltas {
 		var recoVals, fluidVals []float64
-		for _, ds := range batches {
-			mul, err := core.ScheduleMul(ds, nil, delta, cfg.C)
-			if err != nil {
-				return nil, fmt.Errorf("ext-optics delta=%d: %w", delta, err)
-			}
-			order := ordering.SEBF(ds)
-			fluid, err := packet.FluidCCTs(ds, order)
-			if err != nil {
-				return nil, fmt.Errorf("ext-optics: %w", err)
-			}
-			recoVals = append(recoVals, stats.Int64s(mul.CCTs)...)
-			fluidVals = append(fluidVals, stats.Int64s(fluid)...)
+		for b := range batches {
+			s := samples[di*len(batches)+b]
+			recoVals = append(recoVals, s.reco...)
+			fluidVals = append(fluidVals, s.fluid...)
 		}
 		recoMean, err := stats.Mean(recoVals)
 		if err != nil {
@@ -339,20 +399,30 @@ func ExtScale(cfg Config) (*Table, error) {
 		Columns: []string{"CCT ratio", "reconf ratio"},
 	}
 	base := cfg.MulN
-	for _, n := range []int{base / 2, base * 3 / 4, base} {
+	sizes := []int{base / 2, base * 3 / 4, base}
+	trials := len(sizes) * cfg.MulBatches
+	outs, err := parallel.Map(cfg.workers(), trials, func(i int) (*mulOutcome, error) {
+		ni, b := i/cfg.MulBatches, i%cfg.MulBatches
 		sweep := cfg
-		sweep.MulN = n
+		sweep.MulN = sizes[ni]
+		ds, err := mixedBatch(sweep, parallel.Seed(cfg.Seed, saltScale, int64(b)))
+		if err != nil {
+			return nil, fmt.Errorf("ext-scale n=%d: %w", sizes[ni], err)
+		}
+		out, err := runMulBatch(ds, nil, cfg.Delta, cfg.C, false)
+		if err != nil {
+			return nil, fmt.Errorf("ext-scale n=%d batch %d: %w", sizes[ni], b, err)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, n := range sizes {
 		var lpVals, recoVals []float64
 		var lpReconf, recoReconf float64
 		for b := 0; b < cfg.MulBatches; b++ {
-			ds, err := mixedBatch(sweep, cfg.Seed+int64(b*29+31))
-			if err != nil {
-				return nil, fmt.Errorf("ext-scale n=%d: %w", n, err)
-			}
-			out, err := runMulBatch(ds, nil, cfg.Delta, cfg.C, false)
-			if err != nil {
-				return nil, fmt.Errorf("ext-scale n=%d batch %d: %w", n, b, err)
-			}
+			out := outs[ni*cfg.MulBatches+b]
 			lpVals = append(lpVals, stats.Int64s(out.lpCCTs)...)
 			recoVals = append(recoVals, stats.Int64s(out.recoCCTs)...)
 			lpReconf += float64(out.lpReconf)
@@ -380,33 +450,48 @@ func ExtNAS(cfg Config) (*Table, error) {
 		Title:   fmt.Sprintf("Reco-Mul: all-stop vs not-all-stop (delta=%d, c=%d)", cfg.Delta, cfg.C),
 		Columns: []string{"all-stop CCT", "NAS CCT", "speedup", "AS reconf", "NAS setups"},
 	}
-	var asVals, nasVals []float64
-	var asReconf, nasReconf float64
-	for b := 0; b < cfg.MulBatches; b++ {
-		ds, err := mixedBatch(cfg, cfg.Seed+int64(b*67+13))
+	type sample struct {
+		as, nas             []float64
+		asReconf, nasReconf float64
+	}
+	samples, err := parallel.Map(cfg.workers(), cfg.MulBatches, func(b int) (sample, error) {
+		ds, err := mixedBatch(cfg, parallel.Seed(cfg.Seed, saltNAS, int64(b)))
 		if err != nil {
-			return nil, fmt.Errorf("ext-nas: %w", err)
+			return sample{}, fmt.Errorf("ext-nas: %w", err)
 		}
 		order, err := ordering.PrimalDual(ds, nil)
 		if err != nil {
-			return nil, fmt.Errorf("ext-nas: %w", err)
+			return sample{}, fmt.Errorf("ext-nas: %w", err)
 		}
 		sp, err := packet.ListSchedule(ds, order)
 		if err != nil {
-			return nil, fmt.Errorf("ext-nas: %w", err)
+			return sample{}, fmt.Errorf("ext-nas: %w", err)
 		}
 		as, err := core.RecoMul(sp, cfg.MulN, cfg.Delta, cfg.C)
 		if err != nil {
-			return nil, fmt.Errorf("ext-nas: %w", err)
+			return sample{}, fmt.Errorf("ext-nas: %w", err)
 		}
 		nas, err := core.RecoMulNAS(sp, cfg.MulN, cfg.Delta, cfg.C)
 		if err != nil {
-			return nil, fmt.Errorf("ext-nas: %w", err)
+			return sample{}, fmt.Errorf("ext-nas: %w", err)
 		}
-		asVals = append(asVals, stats.Int64s(as.Flows.CCTs(len(ds)))...)
-		nasVals = append(nasVals, stats.Int64s(nas.Flows.CCTs(len(ds)))...)
-		asReconf += float64(as.Reconfigs)
-		nasReconf += float64(nas.Reconfigs)
+		return sample{
+			as:        stats.Int64s(as.Flows.CCTs(len(ds))),
+			nas:       stats.Int64s(nas.Flows.CCTs(len(ds))),
+			asReconf:  float64(as.Reconfigs),
+			nasReconf: float64(nas.Reconfigs),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var asVals, nasVals []float64
+	var asReconf, nasReconf float64
+	for _, s := range samples {
+		asVals = append(asVals, s.as...)
+		nasVals = append(nasVals, s.nas...)
+		asReconf += s.asReconf
+		nasReconf += s.nasReconf
 	}
 	asMean, err := stats.Mean(asVals)
 	if err != nil {
@@ -441,11 +526,15 @@ func ExtFull(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ext-full reco-mul: %w", err)
 	}
-	schedules := make([]ocs.CircuitSchedule, len(ds))
-	for k, d := range ds {
-		if schedules[k], err = solstice.Schedule(d); err != nil {
+	schedules, err := parallel.Map(cfg.workers(), len(ds), func(k int) (ocs.CircuitSchedule, error) {
+		cs, err := solstice.Schedule(ds[k])
+		if err != nil {
 			return nil, fmt.Errorf("ext-full solstice coflow %d: %w", k, err)
 		}
+		return cs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sebf, err := ocs.ExecSequential(ds, schedules, ordering.SEBF(ds), cfg.Delta)
 	if err != nil {

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"reco/internal/core"
 	"reco/internal/lpiigb"
@@ -10,6 +9,7 @@ import (
 	"reco/internal/ocs"
 	"reco/internal/ordering"
 	"reco/internal/packet"
+	"reco/internal/parallel"
 	"reco/internal/solstice"
 	"reco/internal/stats"
 	"reco/internal/workload"
@@ -17,6 +17,23 @@ import (
 
 // mixed is the pseudo-class meaning "all density levels together".
 const mixed workload.Class = 0
+
+// Per-experiment trial-stream salts: every experiment derives its trial
+// generators from (cfg.Seed, salt, trialIndex...) via parallel.Seed, so no
+// two experiments — and no two trials within one — ever share a random
+// stream, no matter how the trials are scheduled across workers.
+const (
+	saltFig6 int64 = iota + 1
+	saltFig7
+	saltFig8
+	saltFig9a
+	saltFig9b
+	saltAlign
+	saltOnline
+	saltOptics
+	saltScale
+	saltNAS
+)
 
 func className(cl workload.Class) string {
 	if cl == mixed {
@@ -27,15 +44,16 @@ func className(cl workload.Class) string {
 
 // mulBatch draws one batch of MulCoflows coflows of the requested class
 // (mixed keeps the workload's natural composition) at the multi-coflow
-// fabric size, by oversampling the generator and filtering.
+// fabric size, by oversampling the generator and filtering. Each attempt
+// threads its own generator derived from (seed, attempt), so a batch is a
+// pure function of its seed.
 func mulBatch(cfg Config, seed int64, cl workload.Class) ([]*matrix.Matrix, error) {
 	need := cfg.MulCoflows
 	var out []*matrix.Matrix
 	for attempt := 0; attempt < 64 && len(out) < need; attempt++ {
-		coflows, err := workload.Generate(workload.GenConfig{
+		coflows, err := workload.GenerateWith(parallel.Rand(seed, int64(attempt)), workload.GenConfig{
 			N:          cfg.MulN,
 			NumCoflows: maxInt(need*4, 64),
-			Seed:       seed + int64(attempt)*7919,
 			// Multi-coflow batches keep flow sizes near the elephant floor
 			// c·δ: that is the regime the paper's minimum-demand assumption
 			// describes, and where start-time alignment (the whole point of
@@ -164,6 +182,40 @@ func aggregateRatios(algVals, recoVals []float64) (avg, p95 float64, err error) 
 
 var mulClassOrder = []workload.Class{workload.Sparse, workload.Normal, workload.Dense, mixed}
 
+// mixedOutcome is one mixed batch scheduled and tagged: everything the
+// mixed-workload figures aggregate from a trial.
+type mixedOutcome struct {
+	classes []workload.Class
+	out     *mulOutcome
+}
+
+// runMixedBatches draws and schedules MulBatches mixed batches in parallel,
+// one trial per batch, with per-trial seeds derived from (Seed, salt, b).
+func runMixedBatches(cfg Config, salt int64, withSEBF bool) ([]mixedOutcome, error) {
+	return parallel.Map(cfg.workers(), cfg.MulBatches, func(b int) (mixedOutcome, error) {
+		ds, err := mixedBatch(cfg, parallel.Seed(cfg.Seed, salt, int64(b)))
+		if err != nil {
+			return mixedOutcome{}, err
+		}
+		var w []float64
+		if salt == saltFig6 {
+			// Fig. 6 draws per-coflow weights uniformly from [0,1]; the
+			// weight stream is separated from the demand stream by an extra
+			// path element.
+			wrng := parallel.Rand(cfg.Seed, salt, int64(b), 1)
+			w = make([]float64, len(ds))
+			for k := range w {
+				w[k] = wrng.Float64()
+			}
+		}
+		out, err := runMulBatch(ds, w, cfg.Delta, cfg.C, withSEBF)
+		if err != nil {
+			return mixedOutcome{}, fmt.Errorf("batch %d: %w", b, err)
+		}
+		return mixedOutcome{classes: classesOf(ds), out: out}, nil
+	})
+}
+
 // Fig6 reproduces Fig. 6: normalized weighted CCT of LP-II-GB against
 // Reco-Mul, per density class and for the mixed workload, with weights drawn
 // uniformly from [0,1].
@@ -175,26 +227,16 @@ func Fig6(cfg Config) (*Table, error) {
 		Columns: []string{"avg", "95p"},
 		Notes:   []string{"paper: sparse 3.67(1.56), normal 2.54(2.01), dense 2.21(1.25), all 3.44(1.64) [derived from the reported improvements]"},
 	}
+	batches, err := runMixedBatches(cfg, saltFig6, false)
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
 	lpVals := map[workload.Class][]float64{}
 	recoVals := map[workload.Class][]float64{}
-	for b := 0; b < cfg.MulBatches; b++ {
-		seed := cfg.Seed + int64(b*37+1)
-		ds, err := mixedBatch(cfg, seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig6: %w", err)
-		}
-		rng := rand.New(rand.NewSource(seed ^ 0x5bf0))
-		w := make([]float64, len(ds))
-		for k := range w {
-			w[k] = rng.Float64()
-		}
-		out, err := runMulBatch(ds, w, cfg.Delta, cfg.C, false)
-		if err != nil {
-			return nil, fmt.Errorf("fig6 batch %d: %w", b, err)
-		}
-		lpW := weightedValues(out.lpCCTs, w)
-		recoW := weightedValues(out.recoCCTs, w)
-		for k, cl := range classesOf(ds) {
+	for _, mb := range batches {
+		lpW := weightedValues(mb.out.lpCCTs, mb.out.weights)
+		recoW := weightedValues(mb.out.recoCCTs, mb.out.weights)
+		for k, cl := range mb.classes {
 			lpVals[cl] = append(lpVals[cl], lpW[k])
 			recoVals[cl] = append(recoVals[cl], recoW[k])
 			lpVals[mixed] = append(lpVals[mixed], lpW[k])
@@ -221,23 +263,19 @@ func Fig7(cfg Config) (*Table, error) {
 		Columns: []string{"LPIIGB avg", "LPIIGB 95p", "SEBF+Sol avg", "SEBF+Sol 95p"},
 		Notes:   []string{"paper: sparse 5.47(2.80)/8.87(6.56), normal+dense 2.52(1.91)/3.41(2.88), all 4.71(2.08)/8.04(5.67)"},
 	}
+	batches, err := runMixedBatches(cfg, saltFig7, true)
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
 	lpVals := map[workload.Class][]float64{}
 	sebfVals := map[workload.Class][]float64{}
 	recoVals := map[workload.Class][]float64{}
-	for b := 0; b < cfg.MulBatches; b++ {
-		ds, err := mixedBatch(cfg, cfg.Seed+int64(b*53+2))
-		if err != nil {
-			return nil, fmt.Errorf("fig7: %w", err)
-		}
-		out, err := runMulBatch(ds, nil, cfg.Delta, cfg.C, true)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 batch %d: %w", b, err)
-		}
-		for k, cl := range classesOf(ds) {
+	for _, mb := range batches {
+		for k, cl := range mb.classes {
 			for _, tag := range []workload.Class{cl, mixed} {
-				lpVals[tag] = append(lpVals[tag], float64(out.lpCCTs[k]))
-				sebfVals[tag] = append(sebfVals[tag], float64(out.sebfCCTs[k]))
-				recoVals[tag] = append(recoVals[tag], float64(out.recoCCTs[k]))
+				lpVals[tag] = append(lpVals[tag], float64(mb.out.lpCCTs[k]))
+				sebfVals[tag] = append(sebfVals[tag], float64(mb.out.sebfCCTs[k]))
+				recoVals[tag] = append(recoVals[tag], float64(mb.out.recoCCTs[k]))
 			}
 		}
 	}
@@ -256,7 +294,8 @@ func Fig7(cfg Config) (*Table, error) {
 }
 
 // Fig8 reproduces Fig. 8: total reconfiguration counts of Reco-Mul vs
-// LP-II-GB, per density class and mixed.
+// LP-II-GB, per density class and mixed. The (class, batch) grid is one
+// flat trial sweep; per-class totals are folded from the ordered results.
 func Fig8(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
@@ -265,20 +304,30 @@ func Fig8(cfg Config) (*Table, error) {
 		Columns: []string{"Reco-Mul", "LPIIGB", "LPIIGB/Reco"},
 		Notes:   []string{"paper ratios: sparse 4.37x, normal 2.56x, dense 1.48x, all 2.59x"},
 	}
+	type counts struct{ reco, lp float64 }
+	trials := len(mulClassOrder) * cfg.MulBatches
+	outs, err := parallel.Map(cfg.workers(), trials, func(i int) (counts, error) {
+		ci, b := i/cfg.MulBatches, i%cfg.MulBatches
+		cl := mulClassOrder[ci]
+		ds, err := mulBatch(cfg, parallel.Seed(cfg.Seed, saltFig8, int64(ci), int64(b)), cl)
+		if err != nil {
+			return counts{}, fmt.Errorf("fig8 %s: %w", className(cl), err)
+		}
+		out, err := runMulBatch(ds, nil, cfg.Delta, cfg.C, false)
+		if err != nil {
+			return counts{}, fmt.Errorf("fig8 %s batch %d: %w", className(cl), b, err)
+		}
+		return counts{reco: float64(out.recoReconf), lp: float64(out.lpReconf)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for ci, cl := range mulClassOrder {
 		var recoTotal, lpTotal float64
 		for b := 0; b < cfg.MulBatches; b++ {
-			seed := cfg.Seed + int64(ci*3000+b*71+3)
-			ds, err := mulBatch(cfg, seed, cl)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %s: %w", className(cl), err)
-			}
-			out, err := runMulBatch(ds, nil, cfg.Delta, cfg.C, false)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %s batch %d: %w", className(cl), b, err)
-			}
-			recoTotal += float64(out.recoReconf)
-			lpTotal += float64(out.lpReconf)
+			c := outs[ci*cfg.MulBatches+b]
+			recoTotal += c.reco
+			lpTotal += c.lp
 		}
 		n := float64(cfg.MulBatches)
 		t.AddRow(className(cl), recoTotal/n, lpTotal/n, stats.Ratio(lpTotal, recoTotal))
@@ -303,21 +352,29 @@ func Fig9a(cfg Config) (*Table, error) {
 		Columns: []string{"avg", "95p"},
 		Notes:   []string{"paper: 1.61 (1us), 1.99 (10us), 3.74 (100us), 1.17 (1ms), 1.18 (10ms) - non-monotone, peaking near 100us"},
 	}
-	var batches [][]*matrix.Matrix
-	for b := 0; b < cfg.MulBatches; b++ {
-		ds, err := mixedBatch(cfg, cfg.Seed+int64(b*97+11))
-		if err != nil {
-			return nil, fmt.Errorf("fig9a: %w", err)
-		}
-		batches = append(batches, ds)
+	batches, err := parallel.Map(cfg.workers(), cfg.MulBatches, func(b int) ([]*matrix.Matrix, error) {
+		return mixedBatch(cfg, parallel.Seed(cfg.Seed, saltFig9a, int64(b)))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig9a: %w", err)
 	}
-	for _, delta := range fig9aDeltas {
+	// One trial per (delta, batch) pair over the shared workload.
+	trials := len(fig9aDeltas) * len(batches)
+	outs, err := parallel.Map(cfg.workers(), trials, func(i int) (*mulOutcome, error) {
+		di, b := i/len(batches), i%len(batches)
+		out, err := runMulBatch(batches[b], nil, fig9aDeltas[di], cfg.C, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig9a delta=%d batch %d: %w", fig9aDeltas[di], b, err)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, delta := range fig9aDeltas {
 		var lpVals, recoVals []float64
-		for b, ds := range batches {
-			out, err := runMulBatch(ds, nil, delta, cfg.C, false)
-			if err != nil {
-				return nil, fmt.Errorf("fig9a delta=%d batch %d: %w", delta, b, err)
-			}
+		for b := range batches {
+			out := outs[di*len(batches)+b]
 			lpVals = append(lpVals, stats.Int64s(out.lpCCTs)...)
 			recoVals = append(recoVals, stats.Int64s(out.recoCCTs)...)
 		}
@@ -342,19 +399,30 @@ func Fig9b(cfg Config) (*Table, error) {
 		Columns: []string{"avg", "95p"},
 		Notes:   []string{"paper: 1.74 -> 1.96 over c=2..4 and 2.83 -> 3.74 over c=5..7"},
 	}
-	for _, c := range []int64{2, 3, 4, 5, 6, 7} {
+	cSweep := []int64{2, 3, 4, 5, 6, 7}
+	trials := len(cSweep) * cfg.MulBatches
+	outs, err := parallel.Map(cfg.workers(), trials, func(i int) (*mulOutcome, error) {
+		ci, b := i/cfg.MulBatches, i%cfg.MulBatches
+		c := cSweep[ci]
 		sweep := cfg
 		sweep.C = c // affects both the workload's minimum demand and Reco-Mul's grid
+		ds, err := mixedBatch(sweep, parallel.Seed(cfg.Seed, saltFig9b, int64(b)))
+		if err != nil {
+			return nil, fmt.Errorf("fig9b c=%d: %w", c, err)
+		}
+		out, err := runMulBatch(ds, nil, cfg.Delta, c, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig9b c=%d batch %d: %w", c, b, err)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range cSweep {
 		var lpVals, recoVals []float64
 		for b := 0; b < cfg.MulBatches; b++ {
-			ds, err := mixedBatch(sweep, cfg.Seed+int64(b*131+17))
-			if err != nil {
-				return nil, fmt.Errorf("fig9b c=%d: %w", c, err)
-			}
-			out, err := runMulBatch(ds, nil, cfg.Delta, c, false)
-			if err != nil {
-				return nil, fmt.Errorf("fig9b c=%d batch %d: %w", c, b, err)
-			}
+			out := outs[ci*cfg.MulBatches+b]
 			lpVals = append(lpVals, stats.Int64s(out.lpCCTs)...)
 			recoVals = append(recoVals, stats.Int64s(out.recoCCTs)...)
 		}
@@ -377,37 +445,52 @@ func AblationAlignment(cfg Config) (*Table, error) {
 		Title:   fmt.Sprintf("Reco-Mul vs delay injection without start-time alignment (delta=%d, c=%d)", cfg.Delta, cfg.C),
 		Columns: []string{"aligned reconf", "naive reconf", "aligned CCT", "naive CCT"},
 	}
+	type sample struct{ aReconf, nReconf, aCCT, nCCT float64 }
+	trials := len(mulClassOrder) * cfg.MulBatches
+	outs, err := parallel.Map(cfg.workers(), trials, func(i int) (sample, error) {
+		ci, b := i/cfg.MulBatches, i%cfg.MulBatches
+		cl := mulClassOrder[ci]
+		ds, err := mulBatch(cfg, parallel.Seed(cfg.Seed, saltAlign, int64(ci), int64(b)), cl)
+		if err != nil {
+			return sample{}, fmt.Errorf("ablation-align %s: %w", className(cl), err)
+		}
+		order, err := ordering.PrimalDual(ds, nil)
+		if err != nil {
+			return sample{}, fmt.Errorf("ablation-align: %w", err)
+		}
+		sp, err := packet.ListSchedule(ds, order)
+		if err != nil {
+			return sample{}, fmt.Errorf("ablation-align: %w", err)
+		}
+		aligned, err := core.RecoMul(sp, cfg.MulN, cfg.Delta, cfg.C)
+		if err != nil {
+			return sample{}, fmt.Errorf("ablation-align: %w", err)
+		}
+		naive, err := core.InjectDelays(sp, cfg.MulN, cfg.Delta)
+		if err != nil {
+			return sample{}, fmt.Errorf("ablation-align: %w", err)
+		}
+		return sample{
+			aReconf: float64(aligned.Reconfigs),
+			nReconf: float64(naive.Reconfigs),
+			aCCT:    meanF(stats.Int64s(aligned.Flows.CCTs(len(ds)))),
+			nCCT:    meanF(stats.Int64s(naive.Flows.CCTs(len(ds)))),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for ci, cl := range mulClassOrder {
-		var aReconf, nReconf, aCCT, nCCT float64
+		var s sample
 		for b := 0; b < cfg.MulBatches; b++ {
-			seed := cfg.Seed + int64(ci*4000+b*61+5)
-			ds, err := mulBatch(cfg, seed, cl)
-			if err != nil {
-				return nil, fmt.Errorf("ablation-align %s: %w", className(cl), err)
-			}
-			order, err := ordering.PrimalDual(ds, nil)
-			if err != nil {
-				return nil, fmt.Errorf("ablation-align: %w", err)
-			}
-			sp, err := packet.ListSchedule(ds, order)
-			if err != nil {
-				return nil, fmt.Errorf("ablation-align: %w", err)
-			}
-			aligned, err := core.RecoMul(sp, cfg.MulN, cfg.Delta, cfg.C)
-			if err != nil {
-				return nil, fmt.Errorf("ablation-align: %w", err)
-			}
-			naive, err := core.InjectDelays(sp, cfg.MulN, cfg.Delta)
-			if err != nil {
-				return nil, fmt.Errorf("ablation-align: %w", err)
-			}
-			aReconf += float64(aligned.Reconfigs)
-			nReconf += float64(naive.Reconfigs)
-			aCCT += meanF(stats.Int64s(aligned.Flows.CCTs(len(ds))))
-			nCCT += meanF(stats.Int64s(naive.Flows.CCTs(len(ds))))
+			o := outs[ci*cfg.MulBatches+b]
+			s.aReconf += o.aReconf
+			s.nReconf += o.nReconf
+			s.aCCT += o.aCCT
+			s.nCCT += o.nCCT
 		}
 		n := float64(cfg.MulBatches)
-		t.AddRow(className(cl), aReconf/n, nReconf/n, aCCT/n, nCCT/n)
+		t.AddRow(className(cl), s.aReconf/n, s.nReconf/n, s.aCCT/n, s.nCCT/n)
 	}
 	return t, nil
 }

@@ -7,6 +7,7 @@ import (
 	"reco/internal/core"
 	"reco/internal/matrix"
 	"reco/internal/ocs"
+	"reco/internal/parallel"
 	"reco/internal/solstice"
 	"reco/internal/stats"
 	"reco/internal/workload"
@@ -35,37 +36,39 @@ type singleMetrics struct {
 }
 
 // runSingle schedules every coflow with Reco-Sin and Solstice under the
-// all-stop model with the given delta.
-func runSingle(coflows []workload.Coflow, delta int64) ([]singleMetrics, error) {
-	out := make([]singleMetrics, 0, len(coflows))
-	for _, c := range coflows {
+// all-stop model with the given delta. Coflows are independent trials, so
+// they fan out over the worker pool; the returned slice is in coflow order
+// regardless of the worker count.
+func runSingle(coflows []workload.Coflow, delta int64, workers int) ([]singleMetrics, error) {
+	return parallel.Map(workers, len(coflows), func(i int) (singleMetrics, error) {
+		c := coflows[i]
 		d := c.Demand
+		var zero singleMetrics
 		recoCS, err := core.RecoSin(d, delta)
 		if err != nil {
-			return nil, fmt.Errorf("reco-sin on coflow %d: %w", c.ID, err)
+			return zero, fmt.Errorf("reco-sin on coflow %d: %w", c.ID, err)
 		}
 		recoRes, err := ocs.ExecAllStop(d, recoCS, delta)
 		if err != nil {
-			return nil, fmt.Errorf("reco-sin exec on coflow %d: %w", c.ID, err)
+			return zero, fmt.Errorf("reco-sin exec on coflow %d: %w", c.ID, err)
 		}
 		solCS, err := solstice.Schedule(d)
 		if err != nil {
-			return nil, fmt.Errorf("solstice on coflow %d: %w", c.ID, err)
+			return zero, fmt.Errorf("solstice on coflow %d: %w", c.ID, err)
 		}
 		solRes, err := ocs.ExecAllStop(d, solCS, delta)
 		if err != nil {
-			return nil, fmt.Errorf("solstice exec on coflow %d: %w", c.ID, err)
+			return zero, fmt.Errorf("solstice exec on coflow %d: %w", c.ID, err)
 		}
-		out = append(out, singleMetrics{
+		return singleMetrics{
 			class:      workload.Classify(d),
 			recoReconf: float64(recoRes.Reconfigs),
 			solReconf:  float64(solRes.Reconfigs),
 			recoCCT:    float64(recoRes.CCT),
 			solCCT:     float64(solRes.CCT),
 			lower:      float64(ocs.LowerBound(d, delta)),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 func classMeans(ms []singleMetrics, cl workload.Class, pick func(singleMetrics) float64) float64 {
@@ -92,7 +95,7 @@ func Fig4a(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fig4a: %w", err)
 	}
-	ms, err := runSingle(coflows, cfg.Delta)
+	ms, err := runSingle(coflows, cfg.Delta, cfg.workers())
 	if err != nil {
 		return nil, fmt.Errorf("fig4a: %w", err)
 	}
@@ -119,7 +122,7 @@ func Fig4b(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fig4b: %w", err)
 	}
-	ms, err := runSingle(coflows, cfg.Delta)
+	ms, err := runSingle(coflows, cfg.Delta, cfg.workers())
 	if err != nil {
 		return nil, fmt.Errorf("fig4b: %w", err)
 	}
@@ -156,11 +159,12 @@ func Fig5a(cfg Config) (*Table, error) {
 		Columns: []string{"Reco-Sin", "Solstice", "Solstice/Reco"},
 		Notes:   []string{"paper: Solstice needs 2.10-3.10x (sparse) and 7.55-8.12x (non-sparse) Reco-Sin's reconfigurations"},
 	}
-	for _, delta := range deltaSweep {
-		ms, err := runSingle(coflows, delta)
-		if err != nil {
-			return nil, fmt.Errorf("fig5a delta=%d: %w", delta, err)
-		}
+	sweep, err := runSingleSweep(coflows, deltaSweep, cfg.workers())
+	if err != nil {
+		return nil, fmt.Errorf("fig5a: %w", err)
+	}
+	for di, delta := range deltaSweep {
+		ms := sweep[di]
 		for _, cl := range classOrder {
 			reco := classMeans(ms, cl, func(m singleMetrics) float64 { return m.recoReconf })
 			sol := classMeans(ms, cl, func(m singleMetrics) float64 { return m.solReconf })
@@ -168,6 +172,19 @@ func Fig5a(cfg Config) (*Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// runSingleSweep runs runSingle once per delta. The sweep points fan out
+// over the pool on top of the per-coflow fan-out inside runSingle; both
+// collect by index, so the sweep is deterministic at any worker count.
+func runSingleSweep(coflows []workload.Coflow, deltas []int64, workers int) ([][]singleMetrics, error) {
+	return parallel.Map(workers, len(deltas), func(di int) ([]singleMetrics, error) {
+		ms, err := runSingle(coflows, deltas[di], workers)
+		if err != nil {
+			return nil, fmt.Errorf("delta=%d: %w", deltas[di], err)
+		}
+		return ms, nil
+	})
 }
 
 // Fig5b reproduces Fig. 5(b): CCT normalized to the lower bound ρ+τδ vs
@@ -185,11 +202,12 @@ func Fig5b(cfg Config) (*Table, error) {
 		Columns: []string{"Reco-Sin/LB", "Solstice/LB"},
 		Notes:   []string{"paper at delta=100ms: Solstice 32.66/23.89/18.26x vs Reco-Sin 21.00/3.96/2.72x (sparse/normal/dense)"},
 	}
-	for _, delta := range deltaSweep {
-		ms, err := runSingle(coflows, delta)
-		if err != nil {
-			return nil, fmt.Errorf("fig5b delta=%d: %w", delta, err)
-		}
+	sweep, err := runSingleSweep(coflows, deltaSweep, cfg.workers())
+	if err != nil {
+		return nil, fmt.Errorf("fig5b: %w", err)
+	}
+	for di, delta := range deltaSweep {
+		ms := sweep[di]
 		for _, cl := range classOrder {
 			var recoN, solN []float64
 			for _, m := range ms {
@@ -221,15 +239,17 @@ func Thm1(cfg Config) (*Table, error) {
 		Columns: []string{"BvN reconf", "Reco reconf", "BvN CCT", "Reco CCT", "CCT ratio"},
 		Notes:   []string{"Theorem 1: the ratio grows with N"},
 	}
-	for _, n := range []int{4, 8, 16, 32} {
+	sizes := []int{4, 8, 16, 32}
+	rows, err := parallel.Map(cfg.workers(), len(sizes), func(i int) (Row, error) {
+		n := sizes[i]
 		d, err := adversarialMatrix(n, cfg.Delta)
 		if err != nil {
-			return nil, fmt.Errorf("thm1: %w", err)
+			return Row{}, fmt.Errorf("thm1: %w", err)
 		}
 		stuffed := matrix.Stuff(d)
 		terms, err := bvn.Decompose(stuffed, bvn.FirstFit)
 		if err != nil {
-			return nil, fmt.Errorf("thm1: %w", err)
+			return Row{}, fmt.Errorf("thm1: %w", err)
 		}
 		cs := make(ocs.CircuitSchedule, len(terms))
 		for i, tm := range terms {
@@ -237,21 +257,26 @@ func Thm1(cfg Config) (*Table, error) {
 		}
 		bvnRes, err := ocs.ExecAllStop(d, cs, cfg.Delta)
 		if err != nil {
-			return nil, fmt.Errorf("thm1 bvn exec: %w", err)
+			return Row{}, fmt.Errorf("thm1 bvn exec: %w", err)
 		}
 		recoCS, err := core.RecoSin(d, cfg.Delta)
 		if err != nil {
-			return nil, fmt.Errorf("thm1 reco: %w", err)
+			return Row{}, fmt.Errorf("thm1 reco: %w", err)
 		}
 		recoRes, err := ocs.ExecAllStop(d, recoCS, cfg.Delta)
 		if err != nil {
-			return nil, fmt.Errorf("thm1 reco exec: %w", err)
+			return Row{}, fmt.Errorf("thm1 reco exec: %w", err)
 		}
-		t.AddRow(fmt.Sprintf("N=%d", n),
+		return Row{Label: fmt.Sprintf("N=%d", n), Cells: []float64{
 			float64(bvnRes.Reconfigs), float64(recoRes.Reconfigs),
 			float64(bvnRes.CCT), float64(recoRes.CCT),
-			stats.Ratio(float64(bvnRes.CCT), float64(recoRes.CCT)))
+			stats.Ratio(float64(bvnRes.CCT), float64(recoRes.CCT)),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -281,7 +306,7 @@ func Thm2(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("thm2: %w", err)
 	}
-	ms, err := runSingle(coflows, cfg.Delta)
+	ms, err := runSingle(coflows, cfg.Delta, cfg.workers())
 	if err != nil {
 		return nil, fmt.Errorf("thm2: %w", err)
 	}
@@ -319,36 +344,52 @@ func AblationRegularization(cfg Config) (*Table, error) {
 		Title:   fmt.Sprintf("Reco-Sin vs unregularized stuff+max-min BvN (delta=%d)", cfg.Delta),
 		Columns: []string{"Reco reconf", "NoReg reconf", "Reco CCT", "NoReg CCT"},
 	}
-	type acc struct{ rr, nr, rc, nc []float64 }
-	byClass := map[workload.Class]*acc{}
-	for _, cl := range classOrder {
-		byClass[cl] = &acc{}
+	type sample struct {
+		class          workload.Class
+		rr, nr, rc, nc float64
 	}
-	for _, c := range coflows {
-		d := c.Demand
+	samples, err := parallel.Map(cfg.workers(), len(coflows), func(i int) (sample, error) {
+		d := coflows[i].Demand
 		recoCS, err := core.RecoSin(d, cfg.Delta)
 		if err != nil {
-			return nil, fmt.Errorf("ablation-reg: %w", err)
+			return sample{}, fmt.Errorf("ablation-reg: %w", err)
 		}
 		recoRes, err := ocs.ExecAllStop(d, recoCS, cfg.Delta)
 		if err != nil {
-			return nil, fmt.Errorf("ablation-reg: %w", err)
+			return sample{}, fmt.Errorf("ablation-reg: %w", err)
 		}
 		// No regularization: RecoSin with delta 0 builds the same pipeline
 		// minus the rounding step.
 		noregCS, err := core.RecoSin(d, 0)
 		if err != nil {
-			return nil, fmt.Errorf("ablation-reg: %w", err)
+			return sample{}, fmt.Errorf("ablation-reg: %w", err)
 		}
 		noregRes, err := ocs.ExecAllStop(d, noregCS, cfg.Delta)
 		if err != nil {
-			return nil, fmt.Errorf("ablation-reg: %w", err)
+			return sample{}, fmt.Errorf("ablation-reg: %w", err)
 		}
-		a := byClass[workload.Classify(d)]
-		a.rr = append(a.rr, float64(recoRes.Reconfigs))
-		a.nr = append(a.nr, float64(noregRes.Reconfigs))
-		a.rc = append(a.rc, float64(recoRes.CCT))
-		a.nc = append(a.nc, float64(noregRes.CCT))
+		return sample{
+			class: workload.Classify(d),
+			rr:    float64(recoRes.Reconfigs),
+			nr:    float64(noregRes.Reconfigs),
+			rc:    float64(recoRes.CCT),
+			nc:    float64(noregRes.CCT),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	type acc struct{ rr, nr, rc, nc []float64 }
+	byClass := map[workload.Class]*acc{}
+	for _, cl := range classOrder {
+		byClass[cl] = &acc{}
+	}
+	for _, s := range samples {
+		a := byClass[s.class]
+		a.rr = append(a.rr, s.rr)
+		a.nr = append(a.nr, s.nr)
+		a.rc = append(a.rc, s.rc)
+		a.nc = append(a.nc, s.nc)
 	}
 	for _, cl := range classOrder {
 		a := byClass[cl]
@@ -378,25 +419,39 @@ func AblationBvNStrategy(cfg Config) (*Table, error) {
 		Title:   fmt.Sprintf("BvN extraction rule inside Reco-Sin (delta=%d)", cfg.Delta),
 		Columns: []string{"max-min terms", "first-fit terms"},
 	}
+	type sample struct {
+		class  workload.Class
+		mm, ff float64
+	}
+	samples, err := parallel.Map(cfg.workers(), len(coflows), func(i int) (sample, error) {
+		reg := core.Regularize(coflows[i].Demand, cfg.Delta)
+		stuffed := matrix.StuffPreferNonZero(reg)
+		mm, err := bvn.Decompose(stuffed, bvn.MaxMin)
+		if err != nil {
+			return sample{}, fmt.Errorf("ablation-bvn: %w", err)
+		}
+		ff, err := bvn.Decompose(stuffed, bvn.FirstFit)
+		if err != nil {
+			return sample{}, fmt.Errorf("ablation-bvn: %w", err)
+		}
+		return sample{
+			class: workload.Classify(coflows[i].Demand),
+			mm:    float64(len(mm)),
+			ff:    float64(len(ff)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	type acc struct{ mm, ff []float64 }
 	byClass := map[workload.Class]*acc{}
 	for _, cl := range classOrder {
 		byClass[cl] = &acc{}
 	}
-	for _, c := range coflows {
-		reg := core.Regularize(c.Demand, cfg.Delta)
-		stuffed := matrix.StuffPreferNonZero(reg)
-		mm, err := bvn.Decompose(stuffed, bvn.MaxMin)
-		if err != nil {
-			return nil, fmt.Errorf("ablation-bvn: %w", err)
-		}
-		ff, err := bvn.Decompose(stuffed, bvn.FirstFit)
-		if err != nil {
-			return nil, fmt.Errorf("ablation-bvn: %w", err)
-		}
-		a := byClass[workload.Classify(c.Demand)]
-		a.mm = append(a.mm, float64(len(mm)))
-		a.ff = append(a.ff, float64(len(ff)))
+	for _, s := range samples {
+		a := byClass[s.class]
+		a.mm = append(a.mm, s.mm)
+		a.ff = append(a.ff, s.ff)
 	}
 	for _, cl := range classOrder {
 		a := byClass[cl]
@@ -424,27 +479,42 @@ func NotAllStop(cfg Config) (*Table, error) {
 		Title:   fmt.Sprintf("Reco-Sin CCT under all-stop vs not-all-stop (delta=%d)", cfg.Delta),
 		Columns: []string{"all-stop", "not-all-stop", "speedup"},
 	}
+	type sample struct {
+		class    workload.Class
+		all, nas float64
+	}
+	samples, err := parallel.Map(cfg.workers(), len(coflows), func(i int) (sample, error) {
+		d := coflows[i].Demand
+		cs, err := core.RecoSin(d, cfg.Delta)
+		if err != nil {
+			return sample{}, fmt.Errorf("notallstop: %w", err)
+		}
+		all, err := ocs.ExecAllStop(d, cs, cfg.Delta)
+		if err != nil {
+			return sample{}, fmt.Errorf("notallstop: %w", err)
+		}
+		nas, err := ocs.ExecNotAllStop(d, cs, cfg.Delta)
+		if err != nil {
+			return sample{}, fmt.Errorf("notallstop: %w", err)
+		}
+		return sample{
+			class: workload.Classify(d),
+			all:   float64(all.CCT),
+			nas:   float64(nas.CCT),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	type acc struct{ all, nas []float64 }
 	byClass := map[workload.Class]*acc{}
 	for _, cl := range classOrder {
 		byClass[cl] = &acc{}
 	}
-	for _, c := range coflows {
-		cs, err := core.RecoSin(c.Demand, cfg.Delta)
-		if err != nil {
-			return nil, fmt.Errorf("notallstop: %w", err)
-		}
-		all, err := ocs.ExecAllStop(c.Demand, cs, cfg.Delta)
-		if err != nil {
-			return nil, fmt.Errorf("notallstop: %w", err)
-		}
-		nas, err := ocs.ExecNotAllStop(c.Demand, cs, cfg.Delta)
-		if err != nil {
-			return nil, fmt.Errorf("notallstop: %w", err)
-		}
-		a := byClass[workload.Classify(c.Demand)]
-		a.all = append(a.all, float64(all.CCT))
-		a.nas = append(a.nas, float64(nas.CCT))
+	for _, s := range samples {
+		a := byClass[s.class]
+		a.all = append(a.all, s.all)
+		a.nas = append(a.nas, s.nas)
 	}
 	for _, cl := range classOrder {
 		a := byClass[cl]

@@ -1,0 +1,68 @@
+package matching
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"reco/internal/matrix"
+)
+
+// benchSizes are the fabric sizes the micro-benchmarks sweep; 64 is the
+// ballpark of the experiment defaults, 16 isolates per-call overhead.
+var benchSizes = []int{16, 32, 64}
+
+func benchMatrix(rng *rand.Rand, n int) *matrix.Matrix {
+	m, err := matrix.New(n)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, 1+rng.Int63n(1000))
+		}
+	}
+	return m
+}
+
+func BenchmarkHungarian(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := benchMatrix(rand.New(rand.NewSource(int64(n))), n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				perm, _ := MaxWeightPerfect(m)
+				if len(perm) != n {
+					b.Fatal("bad matching")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHopcroftKarp(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			// Sparse support with a guaranteed perfect matching: the
+			// identity diagonal plus ~4 random edges per left vertex, the
+			// shape thresholded-support matchings see in practice.
+			rng := rand.New(rand.NewSource(int64(n)))
+			g := NewGraph(n)
+			for u := 0; u < n; u++ {
+				g.AddEdge(u, u)
+				for e := 0; e < 4; e++ {
+					g.AddEdge(u, rng.Intn(n))
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, size := g.MaxMatching()
+				if size != n {
+					b.Fatalf("matching size %d, want %d", size, n)
+				}
+			}
+		})
+	}
+}

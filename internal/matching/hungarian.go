@@ -19,31 +19,35 @@ func MaxWeightPerfect(m *matrix.Matrix) ([]int, int64) {
 	n := m.N()
 	// Convert to a min-cost assignment: cost = maxEntry − weight ≥ 0.
 	maxEntry := m.MaxEntry()
-	cost := func(i, j int) float64 { return float64(maxEntry - m.At(i, j)) }
 
-	// Standard Hungarian with 1-based dummy row/column 0.
+	// Standard Hungarian with 1-based dummy row/column 0. The per-row
+	// augmentation scratch (minv, used) is allocated once for the whole
+	// call and reset in place: the augmenting loop is the O(n³) hot path,
+	// and per-row allocations dominated its profile.
 	u := make([]float64, n+1)
 	v := make([]float64, n+1)
 	p := make([]int, n+1) // p[j] = row assigned to column j
 	way := make([]int, n+1)
+	minv := make([]float64, n+1)
+	used := make([]bool, n+1)
 	for i := 1; i <= n; i++ {
 		p[0] = i
 		j0 := 0
-		minv := make([]float64, n+1)
-		used := make([]bool, n+1)
 		for j := range minv {
 			minv[j] = math.Inf(1)
+			used[j] = false
 		}
 		for {
 			used[j0] = true
 			i0 := p[j0]
+			ui0 := u[i0]
 			delta := math.Inf(1)
 			j1 := 0
 			for j := 1; j <= n; j++ {
 				if used[j] {
 					continue
 				}
-				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				cur := float64(maxEntry-m.At(i0-1, j-1)) - ui0 - v[j]
 				if cur < minv[j] {
 					minv[j] = cur
 					way[j] = j0

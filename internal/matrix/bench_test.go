@@ -1,0 +1,36 @@
+package matrix
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkStuff measures demand-matrix stuffing (the step that pads a
+// demand matrix to doubly stochastic form before every decomposition)
+// across the experiment-scale fabric sizes.
+func BenchmarkStuff(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			m, err := New(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if rng.Float64() < 0.3 {
+						m.Set(i, j, 1+rng.Int63n(500))
+					}
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if Stuff(m) == nil {
+					b.Fatal("stuff returned nil")
+				}
+			}
+		})
+	}
+}

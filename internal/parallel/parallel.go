@@ -1,0 +1,112 @@
+// Package parallel is the repository's fan-out engine: a bounded worker
+// pool for embarrassingly parallel trial sweeps, plus deterministic
+// per-trial RNG derivation so that parallel and sequential runs of the same
+// experiment produce bit-identical results.
+//
+// Every experiment regenerator in internal/experiments runs its trials —
+// one coflow, one batch, one swept parameter value — through Map or
+// ForEach. Results are collected by trial index, never by completion
+// order, so the rendered tables do not depend on the worker count or on
+// goroutine scheduling. Randomness is handled the same way: a trial never
+// shares a *rand.Rand with another trial; it derives its own from the
+// experiment seed and its trial index via SplitMix64 (see seed.go).
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable overriding the default worker
+// count for fan-outs that do not set one explicitly.
+const EnvWorkers = "RECO_WORKERS"
+
+// Workers resolves a worker count: an explicit positive value wins, then a
+// positive RECO_WORKERS environment override, then GOMAXPROCS.
+func Workers(explicit int) int {
+	if explicit > 0 {
+		return explicit
+	}
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
+// (resolved through Workers) and waits for all of them. Trials are handed
+// out dynamically, so uneven trial costs still load-balance.
+//
+// If any invocation returns an error, ForEach returns the error of the
+// lowest trial index that failed — the same error a sequential
+// for-loop that stops at the first failure would have surfaced — after all
+// in-flight trials finish. Trials are not cancelled: they are pure
+// computations here, and running them to completion keeps the
+// lowest-index-error guarantee cheap.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Inline fast path: no goroutines, and the sequential semantics
+		// (stop at first error) are exact rather than emulated.
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) on up to workers goroutines and
+// returns the results ordered by trial index. Error semantics match
+// ForEach: the lowest-index error wins, and a nil error means every slot
+// of the result slice was produced by its own trial.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(7); got != 7 {
+		t.Errorf("explicit workers = %d, want 7", got)
+	}
+	t.Setenv(EnvWorkers, "3")
+	if got := Workers(0); got != 3 {
+		t.Errorf("env workers = %d, want 3", got)
+	}
+	if got := Workers(2); got != 2 {
+		t.Errorf("explicit should beat env: got %d, want 2", got)
+	}
+	t.Setenv(EnvWorkers, "not-a-number")
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("bad env should fall back to GOMAXPROCS: got %d", got)
+	}
+	t.Setenv(EnvWorkers, "-4")
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("negative env should fall back to GOMAXPROCS: got %d", got)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := Map(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachRunsEveryTrialOnce(t *testing.T) {
+	var counts [64]atomic.Int32
+	err := ForEach(8, len(counts), func(i int) error {
+		counts[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Errorf("trial %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestForEachZeroTrials(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+}
+
+func TestLowestIndexErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := ForEach(workers, 40, func(i int) error {
+			if i%10 == 3 {
+				return fmt.Errorf("trial %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "trial 3 failed" {
+			t.Errorf("workers=%d: got %v, want the index-3 error", workers, err)
+		}
+	}
+	out, err := Map(8, 5, func(i int) (int, error) { return 0, fmt.Errorf("boom %d", i) })
+	if err == nil || err.Error() != "boom 0" || out != nil {
+		t.Errorf("Map error = %v (out %v), want boom 0 with nil results", err, out)
+	}
+}
+
+func TestSequentialFastPathStopsEarly(t *testing.T) {
+	ran := 0
+	err := ForEach(1, 10, func(i int) error {
+		ran++
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 3 {
+		t.Errorf("sequential path ran %d trials (err %v), want 3 and an error", ran, err)
+	}
+}
+
+func TestSeedDeterministicAndSeparated(t *testing.T) {
+	if Seed(1, 2, 3) != Seed(1, 2, 3) {
+		t.Error("Seed is not deterministic")
+	}
+	// Consecutive indices, nearby seeds and different path depths must all
+	// land on distinct streams.
+	seen := map[int64]string{}
+	record := func(name string, v int64) {
+		if prev, ok := seen[v]; ok {
+			t.Errorf("seed collision between %s and %s", name, prev)
+		}
+		seen[v] = name
+	}
+	for i := int64(0); i < 100; i++ {
+		record(fmt.Sprintf("Seed(1,%d)", i), Seed(1, i))
+		record(fmt.Sprintf("Seed(2,%d)", i), Seed(2, i))
+		record(fmt.Sprintf("Seed(1,0,%d)", i), Seed(1, 0, i))
+	}
+}
+
+func TestRandPerTrialStreams(t *testing.T) {
+	a1 := Rand(9, 4).Int63()
+	a2 := Rand(9, 4).Int63()
+	b := Rand(9, 5).Int63()
+	if a1 != a2 {
+		t.Error("same (seed, index) produced different streams")
+	}
+	if a1 == b {
+		t.Error("adjacent trial indices share a stream")
+	}
+}

@@ -1,0 +1,46 @@
+package parallel
+
+import "math/rand"
+
+// SplitMix64 constants (Steele, Lea & Flood, "Fast Splittable Pseudorandom
+// Number Generators", OOPSLA 2014). The golden-gamma increment makes
+// consecutive trial indices land on well-separated points of the stream,
+// and the finalizer is a bijective avalanche mix.
+const (
+	goldenGamma = 0x9E3779B97F4A7C15
+	mixMul1     = 0xBF58476D1CE4E5B9
+	mixMul2     = 0x94D049BB133111EB
+)
+
+// mix64 is the SplitMix64 output finalizer: a bijection on uint64 with full
+// avalanche, so structured inputs (small seeds, consecutive indices) come
+// out statistically independent.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * mixMul1
+	z = (z ^ (z >> 27)) * mixMul2
+	return z ^ (z >> 31)
+}
+
+// Seed derives a child seed from a root seed and a trial-index path. Each
+// index folds into the state with the SplitMix64 golden gamma before the
+// finalizer, so Seed(s), Seed(s, i) and Seed(s, i, j) are mutually
+// well-separated streams: experiments use one path element per nesting
+// level (figure salt, batch index, trial index, ...).
+//
+// The derivation is pure arithmetic on (seed, path): it does not depend on
+// execution order, which is what lets parallel trial sweeps reproduce
+// sequential runs bit for bit.
+func Seed(seed int64, path ...int64) int64 {
+	z := uint64(seed)
+	for _, p := range path {
+		z = mix64(z + (uint64(p)+1)*goldenGamma)
+	}
+	return int64(mix64(z + goldenGamma))
+}
+
+// Rand returns a fresh *rand.Rand for the trial identified by (seed, path),
+// derived with Seed. Callers must not share the returned generator across
+// trials; derive one per trial index instead.
+func Rand(seed int64, path ...int64) *rand.Rand {
+	return rand.New(rand.NewSource(Seed(seed, path...)))
+}

@@ -196,7 +196,21 @@ const (
 
 // Generate produces a reproducible synthetic workload matching the paper's
 // published marginals. See the package comment for the calibration targets.
+// It is shorthand for GenerateWith with a generator seeded from cfg.Seed.
 func Generate(cfg GenConfig) ([]Coflow, error) {
+	return GenerateWith(rand.New(rand.NewSource(cfg.Seed)), cfg)
+}
+
+// GenerateWith is Generate with an explicit random source: the caller owns
+// the generator and cfg.Seed is ignored. Experiment trial sweeps use this
+// to thread a per-trial generator (derived from the experiment seed and the
+// trial index) instead of sharing one *rand.Rand across trials — sharing
+// would make the drawn workload depend on trial execution order, and under
+// a parallel sweep it would be a data race.
+//
+// The rng must not be used concurrently by the caller while GenerateWith
+// runs.
+func GenerateWith(rng *rand.Rand, cfg GenConfig) ([]Coflow, error) {
 	cfg.applyDefaults()
 	if cfg.N < 4 {
 		return nil, fmt.Errorf("%w: N=%d (need at least 4)", ErrBadConfig, cfg.N)
@@ -207,7 +221,6 @@ func Generate(cfg GenConfig) ([]Coflow, error) {
 	if cfg.MinDemand < 1 || cfg.MeanDemand < cfg.MinDemand {
 		return nil, fmt.Errorf("%w: MinDemand=%d MeanDemand=%d", ErrBadConfig, cfg.MinDemand, cfg.MeanDemand)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	k := cfg.NumCoflows
 
 	nS2S := int(fracS2S * float64(k))
