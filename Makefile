@@ -3,9 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json verify results examples fmt vet clean
+.PHONY: all build test test-short race cover bench bench-json verify results examples fmt vet check clean
 
 all: build test
+
+# The full verification gate: everything CI should hold a change to.
+check: build test race vet
 
 build:
 	$(GO) build ./...

@@ -42,7 +42,7 @@ func run() int {
 	logger := log.New(os.Stderr, "recod: ", log.LstdFlags)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(logger, api.NewInstrumentedHandler()),
+		Handler:           handler(logger),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -71,6 +71,36 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// handler is the full recod middleware chain: access logging outermost, so
+// recovered panics are logged as 500s, then panic recovery, then the API.
+func handler(logger *log.Logger) http.Handler {
+	return logRequests(logger, recoverPanics(logger, api.NewInstrumentedHandler()))
+}
+
+// recoverPanics converts a panicking handler into a structured JSON 500 and
+// keeps the server alive instead of tearing down the connection. The
+// response is best-effort: if the handler already wrote a partial body,
+// nothing sensible can be appended. http.ErrAbortHandler is the net/http
+// idiom for deliberately aborting a response and is re-raised untouched.
+func recoverPanics(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			_, _ = w.Write([]byte(`{"error":"internal server error"}` + "\n"))
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // logRequests is minimal access logging middleware.

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRecoverPanicsReturnsJSON500: a panicking handler yields a structured
+// JSON 500 instead of a dropped connection, and the server keeps serving.
+func TestRecoverPanicsReturnsJSON500(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(logRequests(logger, recoverPanics(logger, mux)))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatalf("GET /boom: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding 500 body: %v", err)
+	}
+	if body.Error == "" {
+		t.Error("500 body has no error field")
+	}
+
+	// The panic must not have taken the server down.
+	for i := 0; i < 3; i++ {
+		ok, err := http.Get(srv.URL + "/ok")
+		if err != nil {
+			t.Fatalf("GET /ok after panic: %v", err)
+		}
+		ok.Body.Close()
+		if ok.StatusCode != http.StatusOK {
+			t.Errorf("GET /ok after panic: status %d", ok.StatusCode)
+		}
+	}
+}
+
+// TestHandlerServesAPIAfterPanic drives the real recod middleware chain: the
+// service endpoints still answer after a request panics somewhere below the
+// recovery middleware.
+func TestHandlerServesAPIAfterPanic(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+	srv := httptest.NewServer(handler(logger))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	single, err := http.Post(srv.URL+"/v1/schedule/single", "application/json",
+		strings.NewReader(`{"demand":[[0,400],[400,0]],"delta":100}`))
+	if err != nil {
+		t.Fatalf("POST schedule/single: %v", err)
+	}
+	defer single.Body.Close()
+	if single.StatusCode != http.StatusOK {
+		t.Fatalf("schedule/single status %d", single.StatusCode)
+	}
+}
+
+// TestRecoverPanicsPropagatesAbort: http.ErrAbortHandler is the sanctioned
+// way to abort a response and must pass through untouched.
+func TestRecoverPanicsPropagatesAbort(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+	h := recoverPanics(logger, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if rec := recover(); rec != http.ErrAbortHandler {
+			t.Errorf("recovered %v, want http.ErrAbortHandler", rec)
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+}

@@ -14,6 +14,13 @@
 // Example:
 //
 //	recosim -alg reco-mul -n 40 -coflows 20 -delta 100 -c 4 -percoflow
+//
+// With -faults, each coflow's Reco-Sin schedule instead runs through the
+// fault-injecting simulator (port failures, circuit-setup failures, δ
+// jitter; see docs/FAULTS.md), comparing the naive schedule replay against
+// the recovery controller:
+//
+//	recosim -faults -pfail 0.25 -setupfail 0.05 -n 40 -coflows 20
 package main
 
 import (
@@ -23,12 +30,15 @@ import (
 	"sort"
 
 	"reco/internal/core"
+	"reco/internal/faults"
 	"reco/internal/gantt"
 	"reco/internal/lpiigb"
 	"reco/internal/matrix"
 	"reco/internal/ocs"
 	"reco/internal/ordering"
+	"reco/internal/parallel"
 	"reco/internal/schedule"
+	"reco/internal/sim"
 	"reco/internal/solstice"
 	"reco/internal/stats"
 	"reco/internal/workload"
@@ -51,6 +61,13 @@ func run() int {
 		perCoflow  = flag.Bool("percoflow", false, "print each coflow's CCT")
 		showGantt  = flag.Bool("gantt", false, "render the schedule as an ASCII Gantt chart")
 		ganttWidth = flag.Int("ganttwidth", 100, "gantt chart width in columns")
+
+		withFaults = flag.Bool("faults", false, "run each coflow's Reco-Sin schedule under injected faults (replay vs recover)")
+		pfail      = flag.Float64("pfail", 0.10, "with -faults: per-port failure probability inside the nominal run")
+		setupFail  = flag.Float64("setupfail", 0, "with -faults: per-establishment circuit-setup failure probability")
+		jitter     = flag.Int64("jitter", 0, "with -faults: δ jitter bound in ticks")
+		repair     = flag.Int64("repair", 0, "with -faults: port repair delay in ticks (0: half the clean CCT)")
+		faultSeed  = flag.Int64("faultseed", 1, "with -faults: fault-schedule seed")
 	)
 	flag.Parse()
 
@@ -70,6 +87,18 @@ func run() int {
 	for i, cf := range coflows {
 		ds[i] = cf.Demand
 		w[i] = cf.Weight
+	}
+
+	if *withFaults {
+		if err := runFaulted(ds, faultOpts{
+			delta: *delta, pfail: *pfail, setupFail: *setupFail,
+			jitter: *jitter, repair: *repair, seed: *faultSeed,
+			perCoflow: *perCoflow,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	ccts, reconfigs, flows, err := schedul(*alg, ds, w, *delta, *c)
@@ -186,6 +215,79 @@ func schedul(alg string, ds []*matrix.Matrix, w []float64, delta, c int64) ([]in
 	default:
 		return nil, 0, nil, fmt.Errorf("unknown algorithm %q", alg)
 	}
+}
+
+type faultOpts struct {
+	delta     int64
+	pfail     float64
+	setupFail float64
+	jitter    int64
+	repair    int64
+	seed      int64
+	perCoflow bool
+}
+
+// runFaulted plans each coflow with Reco-Sin and executes the plan through
+// the fault-injecting simulator, comparing the naive schedule replay against
+// the recovery controller. Each coflow gets its own fault schedule derived
+// from (seed, coflow index), so runs are reproducible coflow by coflow.
+func runFaulted(ds []*matrix.Matrix, o faultOpts) error {
+	fmt.Printf("fault model    pfail=%.2f setupfail=%.2f jitter=%d seed=%d\n",
+		o.pfail, o.setupFail, o.jitter, o.seed)
+	fmt.Printf("coflows        %d on %d ports, delta %d ticks\n", len(ds), ds[0].N(), o.delta)
+	var cleanSum, replaySum, recoverSum float64
+	var faultCount, setupCount int
+	for k, d := range ds {
+		cs, err := core.RecoSin(d, o.delta)
+		if err != nil {
+			return fmt.Errorf("coflow %d: %w", k, err)
+		}
+		clean, err := ocs.ExecAllStop(d, cs, o.delta)
+		if err != nil {
+			return fmt.Errorf("coflow %d: %w", k, err)
+		}
+		repairAfter := o.repair
+		if repairAfter <= 0 {
+			repairAfter = clean.CCT / 2
+			if repairAfter < o.delta {
+				repairAfter = o.delta
+			}
+		}
+		fs, err := faults.Generate(faults.GenConfig{
+			N:             d.N(),
+			Seed:          parallel.Seed(o.seed, int64(k)),
+			Horizon:       clean.CCT,
+			PortFailRate:  o.pfail,
+			RepairAfter:   repairAfter,
+			SetupFailProb: o.setupFail,
+			JitterBound:   o.jitter,
+		})
+		if err != nil {
+			return fmt.Errorf("coflow %d: %w", k, err)
+		}
+		replay, err := sim.RunFaults(d, sim.NewReplayLoop(cs), o.delta, fs)
+		if err != nil {
+			return fmt.Errorf("coflow %d replay: %w", k, err)
+		}
+		rec, err := sim.RunFaults(d, sim.NewPredictiveRecover(d, cs, o.delta, fs), o.delta, fs)
+		if err != nil {
+			return fmt.Errorf("coflow %d recover: %w", k, err)
+		}
+		cleanSum += float64(clean.CCT)
+		replaySum += float64(replay.CCT)
+		recoverSum += float64(rec.CCT)
+		faultCount += len(rec.Faults)
+		setupCount += rec.SetupFailures
+		if o.perCoflow {
+			fmt.Printf("  coflow %3d  clean %9d  replay %9d  recover %9d  faults %d\n",
+				k, clean.CCT, replay.CCT, rec.CCT, len(rec.Faults))
+		}
+	}
+	fmt.Printf("faults seen    %d (%d setup failures under recover)\n", faultCount, setupCount)
+	fmt.Printf("sum clean CCT  %.0f ticks\n", cleanSum)
+	fmt.Printf("replay         %.0f ticks (x%.3f of clean)\n", replaySum, replaySum/cleanSum)
+	fmt.Printf("recover        %.0f ticks (x%.3f of clean)\n", recoverSum, recoverSum/cleanSum)
+	return nil
 }
 
 func identity(n int) []int {

@@ -6,32 +6,86 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
+	"time"
 )
+
+// DefaultTimeout bounds requests made through a NewClient(url, nil) client.
+// The service solves LPs and decompositions server-side, so calls are slow
+// but not unbounded; http.DefaultClient would wait forever on a hung server.
+const DefaultTimeout = 30 * time.Second
+
+// RetryPolicy configures opt-in request retries. Connection errors and 5xx
+// responses are retried with exponential backoff and jitter; 4xx responses
+// and context cancellation are not. Every endpoint of the service is a pure
+// computation, so retrying POSTs is safe.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first. Values
+	// below 2 disable retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles on each
+	// subsequent retry. Default 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 5s.
+	MaxDelay time.Duration
+	// Seed drives the jitter stream, keeping retry timing reproducible.
+	// Zero seeds from the policy defaults.
+	Seed int64
+}
+
+// backoff returns the jittered delay before retry number r (1-based): half
+// the exponential step plus a uniformly drawn remainder, so concurrent
+// clients spread out instead of retrying in lockstep.
+func (p RetryPolicy) backoff(r int, rng *rand.Rand) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base << (r - 1)
+	if d <= 0 || d > max {
+		d = max
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+}
 
 // Client talks to a recod scheduling service.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry *RetryPolicy
+	rng   *rand.Rand
 }
 
 // NewClient returns a client for the service at baseURL (e.g.
-// "http://127.0.0.1:8372"). A nil httpClient uses http.DefaultClient.
+// "http://127.0.0.1:8372"). A nil httpClient gets a dedicated client with
+// DefaultTimeout rather than the unbounded http.DefaultClient.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = &http.Client{Timeout: DefaultTimeout}
 	}
 	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
 }
 
+// WithRetry enables the retry policy on this client and returns it.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c.retry = &p
+	c.rng = rand.New(rand.NewSource(seed))
+	return c
+}
+
 // Healthz checks service liveness.
 func (c *Client) Healthz(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
-	if err != nil {
-		return fmt.Errorf("api: building request: %w", err)
-	}
-	resp, err := c.http.Do(req)
+	resp, err := c.roundTrip(ctx, http.MethodGet, "/v1/healthz", nil)
 	if err != nil {
 		return fmt.Errorf("api: healthz: %w", err)
 	}
@@ -74,12 +128,7 @@ func (c *Client) post(ctx context.Context, path string, in, out interface{}) err
 	if err != nil {
 		return fmt.Errorf("api: encoding request: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("api: building request: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http.Do(req)
+	resp, err := c.roundTrip(ctx, http.MethodPost, path, body)
 	if err != nil {
 		return fmt.Errorf("api: %s: %w", path, err)
 	}
@@ -95,6 +144,63 @@ func (c *Client) post(ctx context.Context, path string, in, out interface{}) err
 		return fmt.Errorf("api: decoding response: %w", err)
 	}
 	return nil
+}
+
+// roundTrip issues one request, retrying connection errors and 5xx
+// responses under the client's RetryPolicy. The request is rebuilt from the
+// body bytes on every attempt. Non-5xx responses are returned as-is for the
+// caller to interpret.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	attempts := 1
+	if c.retry != nil && c.retry.MaxAttempts > 1 {
+		attempts = c.retry.MaxAttempts
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if err := sleepCtx(ctx, c.retry.backoff(a, c.rng)); err != nil {
+				return nil, fmt.Errorf("%v (giving up: %w)", lastErr, err)
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, fmt.Errorf("building request: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 && a+1 < attempts {
+			drain(resp)
+			lastErr = fmt.Errorf("status %d", resp.StatusCode)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// sleepCtx waits for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // drain discards the rest of the body so the connection can be reused.

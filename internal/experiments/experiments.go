@@ -193,6 +193,7 @@ func Registry() map[string]Runner {
 		"fig9b":          Fig9b,
 		"thm1":           Thm1,
 		"thm2":           Thm2,
+		"faults":         Faults,
 		"ablation-reg":   AblationRegularization,
 		"ablation-align": AblationAlignment,
 		"ablation-bvn":   AblationBvNStrategy,
@@ -215,7 +216,7 @@ func Order() []string {
 		"fig4a", "fig4b", "fig4a-cdf", "fig4b-cdf", "fig5a", "fig5b",
 		"fig6", "fig7", "fig8", "fig9a", "fig9b",
 		"table3", "thm1", "thm2",
-		"ablation-reg", "ablation-align", "ablation-bvn", "notallstop",
+		"ablation-reg", "ablation-align", "ablation-bvn", "notallstop", "faults",
 		"ext-single", "ext-sunflow", "ext-nas", "ext-online", "ext-hybrid", "ext-optics", "ext-scale",
 	}
 }

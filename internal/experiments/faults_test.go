@@ -1,0 +1,76 @@
+package experiments
+
+import "testing"
+
+// TestFaultsRecoverBeatsReplayEveryTrial is the experiment's acceptance
+// contract: on every (fault level, coflow) trial, the replanning Recover
+// controller completes no later than the naive schedule replay, and the
+// zero-fault row anchors both controllers at exactly the fault-free CCT.
+func TestFaultsRecoverBeatsReplayEveryTrial(t *testing.T) {
+	trials, err := runFaultTrials(tinyConfig.withDefaults())
+	if err != nil {
+		t.Fatalf("runFaultTrials: %v", err)
+	}
+	for li, lvl := range faultLevels {
+		for ci, p := range trials[li] {
+			if p.recoverN > p.replayN {
+				t.Errorf("level %q coflow %d: Recover %.4f slower than Replay %.4f",
+					lvl.label, ci, p.recoverN, p.replayN)
+			}
+			if lvl.portRate == 0 && lvl.setupProb == 0 {
+				if p.recoverN != 1 || p.replayN != 1 {
+					t.Errorf("zero-fault trial %d not anchored at 1: replay %.4f recover %.4f",
+						ci, p.replayN, p.recoverN)
+				}
+			} else if p.recoverN < 1 {
+				t.Errorf("level %q coflow %d: Recover %.4f beat the fault-free execution",
+					lvl.label, ci, p.recoverN)
+			}
+		}
+	}
+}
+
+// TestFaultsTableShape checks the rendered experiment: one row per fault
+// level, degradation grows along the port-failure sweep, and the naive
+// replay never beats Recover on average.
+func TestFaultsTableShape(t *testing.T) {
+	tbl, err := Faults(tinyConfig)
+	if err != nil {
+		t.Fatalf("Faults: %v", err)
+	}
+	if len(tbl.Rows) != len(faultLevels) {
+		t.Fatalf("got %d rows, want %d", len(tbl.Rows), len(faultLevels))
+	}
+	for _, r := range tbl.Rows {
+		if ratio := r.Cells[2]; ratio < 1 {
+			t.Errorf("%s: Replay/Recover ratio %.4f < 1", r.Label, ratio)
+		}
+	}
+	if tbl.Rows[0].Cells[0] != 1 || tbl.Rows[0].Cells[1] != 1 {
+		t.Errorf("zero-fault row not normalized to 1: %+v", tbl.Rows[0])
+	}
+	// More port failures cannot make the naive replay faster.
+	if tbl.Rows[3].Cells[0] < tbl.Rows[1].Cells[0] {
+		t.Errorf("replay degradation shrank along the pfail sweep: %.4f at 0.50 vs %.4f at 0.10",
+			tbl.Rows[3].Cells[0], tbl.Rows[1].Cells[0])
+	}
+}
+
+// TestFaultsDeterministicAcrossWorkers extends the engine's determinism
+// contract to the degraded-CCT experiment.
+func TestFaultsDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) string {
+		cfg := tinyConfig
+		cfg.Workers = workers
+		tbl, err := Faults(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tbl.CSV()
+	}
+	seq := run(1)
+	par := run(8)
+	if seq != par {
+		t.Errorf("workers=1 and workers=8 disagree\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", seq, par)
+	}
+}

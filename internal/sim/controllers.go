@@ -34,6 +34,37 @@ func (r *Replay) Next(s State) Decision {
 	return Decision{}
 }
 
+// ReplayLoop is the naive recovery baseline: it plays the precomputed
+// schedule like Replay, but cycles back to the top as long as demand
+// remains, blindly re-establishing assignments whose circuits have not
+// drained — including circuits stranded on failed ports, where each attempt
+// burns a reconfiguration delay and carries nothing. It never replans.
+type ReplayLoop struct {
+	schedule ocs.CircuitSchedule
+	pos      int
+}
+
+// NewReplayLoop returns a ReplayLoop controller over cs.
+func NewReplayLoop(cs ocs.CircuitSchedule) *ReplayLoop {
+	return &ReplayLoop{schedule: cs}
+}
+
+// Next implements Controller: the next assignment (cyclically) with
+// undrained demand, or stop when a full cycle finds none.
+func (r *ReplayLoop) Next(s State) Decision {
+	n := len(r.schedule)
+	for tried := 0; tried < n; tried++ {
+		a := r.schedule[r.pos%n]
+		r.pos++
+		for i, j := range a.Perm {
+			if j != -1 && s.Remaining.At(i, j) > 0 {
+				return Decision{Perm: a.Perm, Budget: a.Dur}
+			}
+		}
+	}
+	return Decision{}
+}
+
 // GreedyBottleneck is a reactive controller: each time the switch idles, it
 // establishes the bottleneck-optimal (max–min) perfect matching of the
 // stuffed remaining demand and holds it until its first drain. It is the

@@ -1,0 +1,389 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"reco/internal/core"
+	"reco/internal/faults"
+	"reco/internal/matrix"
+	"reco/internal/ocs"
+	"reco/internal/solstice"
+)
+
+// TestRunFaultsEmptyScheduleByteIdentical is the zero-fault differential
+// test the tentpole demands: with an empty (or nil) fault schedule, RunFaults
+// must reproduce both the pre-fault simulator and ocs.ExecAllStop tick for
+// tick — identical CCT, establishment counts, reconfiguration time, and the
+// exact same flow intervals in the exact same order.
+func TestRunFaultsEmptyScheduleByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(8)
+		delta := int64(1 + rng.Intn(80))
+		d := randomDemand(rng, n, 0.5)
+
+		var cs ocs.CircuitSchedule
+		var err error
+		if trial%2 == 0 {
+			cs, err = core.RecoSin(d, delta)
+		} else {
+			cs, err = solstice.Schedule(d)
+		}
+		if err != nil {
+			t.Fatalf("trial %d: schedule: %v", trial, err)
+		}
+
+		exec, err := ocs.ExecAllStop(d, cs, delta)
+		if err != nil {
+			t.Fatalf("trial %d: exec: %v", trial, err)
+		}
+		plain, err := Run(d, NewReplay(cs), delta)
+		if err != nil {
+			t.Fatalf("trial %d: run: %v", trial, err)
+		}
+		faulted, err := RunFaults(d, NewReplay(cs), delta, &faults.Schedule{Seed: 99})
+		if err != nil {
+			t.Fatalf("trial %d: runfaults: %v", trial, err)
+		}
+
+		if faulted.CCT != exec.CCT || faulted.CCT != plain.CCT {
+			t.Fatalf("trial %d: CCTs diverge: exec %d, run %d, runfaults %d", trial, exec.CCT, plain.CCT, faulted.CCT)
+		}
+		if faulted.Establishments != exec.Reconfigs {
+			t.Fatalf("trial %d: establishments %d != reconfigs %d", trial, faulted.Establishments, exec.Reconfigs)
+		}
+		if faulted.ConfTime != exec.ConfTime {
+			t.Fatalf("trial %d: conf time %d != %d", trial, faulted.ConfTime, exec.ConfTime)
+		}
+		if !reflect.DeepEqual(faulted.Flows, exec.Flows) {
+			t.Fatalf("trial %d: flow schedules differ:\nexec: %v\nsim:  %v", trial, exec.Flows, faulted.Flows)
+		}
+		if !reflect.DeepEqual(faulted, plain) {
+			t.Fatalf("trial %d: RunFaults(empty) and Run results differ", trial)
+		}
+		if faulted.SetupFailures != 0 || len(faulted.Faults) != 0 {
+			t.Fatalf("trial %d: empty schedule recorded faults: %+v", trial, faulted.Faults)
+		}
+	}
+}
+
+// TestFaultAtTickZero covers the t=0 edge: a port that is down from the very
+// first tick. Without repair its demand is unservable; with repair the run
+// completes and records the down/up pair.
+func TestFaultAtTickZero(t *testing.T) {
+	d := mustMatrix(t, [][]int64{{9, 0}, {0, 4}})
+	cs, err := core.RecoSin(d, 3)
+	if err != nil {
+		t.Fatalf("RecoSin: %v", err)
+	}
+
+	dead := &faults.Schedule{PortEvents: []faults.PortEvent{{Tick: 0, Port: 0, Down: true}}}
+	res, err := RunFaults(d, NewReplayLoop(cs), 3, dead)
+	if !errors.Is(err, ErrUnservable) {
+		t.Fatalf("permanent t=0 failure: got %v, want ErrUnservable", err)
+	}
+	if res == nil {
+		t.Fatal("partial result missing")
+	}
+
+	repaired := &faults.Schedule{PortEvents: []faults.PortEvent{
+		{Tick: 0, Port: 0, Down: true},
+		{Tick: 20, Port: 0, Down: false},
+	}}
+	res, err = RunFaults(d, NewRecover(3), 3, repaired)
+	if err != nil {
+		t.Fatalf("repaired t=0 failure: %v", err)
+	}
+	if err := res.Flows.CheckDemand([]*matrix.Matrix{d}); err != nil {
+		t.Fatalf("demand not drained: %v", err)
+	}
+	if res.CCT <= 20 {
+		t.Errorf("CCT %d should extend past the repair at tick 20", res.CCT)
+	}
+	kinds := map[FaultKind]int{}
+	for _, f := range res.Faults {
+		kinds[f.Kind]++
+	}
+	if kinds[FaultPortDown] != 1 || kinds[FaultPortUp] != 1 {
+		t.Errorf("fault record %v, want one port-down and one port-up", res.Faults)
+	}
+}
+
+// TestAllPortsFailed covers the everything-down edge: no demand is servable
+// and no recovery is pending, so the run reports ErrUnservable immediately
+// with the full demand left.
+func TestAllPortsFailed(t *testing.T) {
+	d := mustMatrix(t, [][]int64{{5, 3}, {2, 7}})
+	fs := &faults.Schedule{PortEvents: []faults.PortEvent{
+		{Tick: 0, Port: 0, Down: true},
+		{Tick: 0, Port: 1, Down: true},
+	}}
+	cs, err := core.RecoSin(d, 2)
+	if err != nil {
+		t.Fatalf("RecoSin: %v", err)
+	}
+	res, err := RunFaults(d, NewReplayLoop(cs), 2, fs)
+	if !errors.Is(err, ErrUnservable) {
+		t.Fatalf("got %v, want ErrUnservable", err)
+	}
+	if res.Establishments != 0 || len(res.Flows) != 0 {
+		t.Errorf("all-ports-failed run still established circuits: %+v", res)
+	}
+}
+
+// TestFaultDuringReconfiguration covers a port failing inside the δ window:
+// the establishment comes up with the port already dead, burns its delay,
+// and carries nothing on that circuit.
+func TestFaultDuringReconfiguration(t *testing.T) {
+	d := mustMatrix(t, [][]int64{{6}})
+	const delta = 10
+	fs := &faults.Schedule{PortEvents: []faults.PortEvent{
+		{Tick: 5, Port: 0, Down: true}, // strictly inside the first [0, 10) reconfiguration
+		{Tick: 30, Port: 0, Down: false},
+	}}
+	res, err := RunFaults(d, NewReplayLoop(ocs.CircuitSchedule{{Perm: []int{0}, Dur: 6}}), delta, fs)
+	if err != nil {
+		t.Fatalf("RunFaults: %v", err)
+	}
+	first := res.Log[0]
+	if first.Down != first.Up || first.SetupFailed {
+		t.Errorf("first establishment should burn delta with no window: %+v", first)
+	}
+	if err := res.Flows.CheckDemand([]*matrix.Matrix{d}); err != nil {
+		t.Fatalf("demand not drained after repair: %v", err)
+	}
+	// No transmission can predate the repair at tick 30.
+	for _, f := range res.Flows {
+		if f.Start < 30 {
+			t.Errorf("flow %+v transmits while port 0 is down", f)
+		}
+	}
+}
+
+// TestPortEventInterruptsEstablishment: an unrelated port recovering mid
+// window cuts the establishment short and hands control back.
+func TestPortEventInterruptsEstablishment(t *testing.T) {
+	d := mustMatrix(t, [][]int64{{50, 0}, {0, 40}})
+	const delta = 5
+	fs := &faults.Schedule{PortEvents: []faults.PortEvent{
+		{Tick: 0, Port: 1, Down: true},
+		{Tick: 25, Port: 1, Down: false}, // lands inside circuit 0's first window [5, 55)
+	}}
+	res, err := RunFaults(d, NewRecover(delta), delta, fs)
+	if err != nil {
+		t.Fatalf("RunFaults: %v", err)
+	}
+	if err := res.Flows.CheckDemand([]*matrix.Matrix{d}); err != nil {
+		t.Fatalf("demand: %v", err)
+	}
+	interrupted := false
+	for _, tr := range res.Log {
+		if tr.Interrupted {
+			interrupted = true
+		}
+	}
+	if !interrupted {
+		t.Errorf("no establishment recorded as interrupted: %+v", res.Log)
+	}
+}
+
+// setupFailSeed finds a seed whose establishment-0 draw fails, so the test
+// exercises a deterministic setup failure without sweeping probabilities.
+func setupFailSeed(t *testing.T, prob float64) int64 {
+	t.Helper()
+	for seed := int64(1); seed < 10_000; seed++ {
+		s := &faults.Schedule{SetupFailProb: prob, Seed: seed}
+		if s.SetupFails(0) && !s.SetupFails(1) {
+			return seed
+		}
+	}
+	t.Fatal("no seed with SetupFails(0) found")
+	return 0
+}
+
+// TestSetupFailureBurnsDelta: a failed establishment spends δ, installs
+// nothing, and the naive replay loop pays exactly one extra δ re-trying it.
+func TestSetupFailureBurnsDelta(t *testing.T) {
+	d := mustMatrix(t, [][]int64{{8}})
+	const delta = 7
+	cs := ocs.CircuitSchedule{{Perm: []int{0}, Dur: 8}}
+	fs := &faults.Schedule{SetupFailProb: 0.3, Seed: setupFailSeed(t, 0.3)}
+
+	clean, err := ocs.ExecAllStop(d, cs, delta)
+	if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	res, err := RunFaults(d, NewReplayLoop(cs), delta, fs)
+	if err != nil {
+		t.Fatalf("RunFaults: %v", err)
+	}
+	if res.SetupFailures != 1 {
+		t.Fatalf("SetupFailures = %d, want 1", res.SetupFailures)
+	}
+	if res.CCT != clean.CCT+delta {
+		t.Errorf("CCT = %d, want clean %d + one wasted delta %d", res.CCT, clean.CCT, delta)
+	}
+	if !res.Log[0].SetupFailed {
+		t.Errorf("first trace not marked SetupFailed: %+v", res.Log[0])
+	}
+	found := false
+	for _, f := range res.Faults {
+		if f.Kind == FaultSetup && f.Establishment == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no setup-fail fault record: %+v", res.Faults)
+	}
+}
+
+// TestJitterPerturbsConfTime: with pure δ jitter the demand still drains,
+// and the total reconfiguration time equals the sum of the per-establishment
+// effective delays rather than establishments·δ.
+func TestJitterPerturbsConfTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	d := randomDemand(rng, 4, 0.6)
+	const delta = 20
+	cs, err := core.RecoSin(d, delta)
+	if err != nil {
+		t.Fatalf("RecoSin: %v", err)
+	}
+	fs := &faults.Schedule{JitterBound: 9, Seed: 5}
+	res, err := RunFaults(d, NewReplay(cs), delta, fs)
+	if err != nil {
+		t.Fatalf("RunFaults: %v", err)
+	}
+	if err := res.Flows.CheckDemand([]*matrix.Matrix{d}); err != nil {
+		t.Fatalf("demand: %v", err)
+	}
+	var want int64
+	for k := 0; k < res.Establishments; k++ {
+		eff := delta + fs.Jitter(k)
+		if eff < 0 {
+			eff = 0
+		}
+		want += eff
+	}
+	if res.ConfTime != want {
+		t.Errorf("ConfTime = %d, want sum of effective deltas %d", res.ConfTime, want)
+	}
+	// Each jittered establishment appears in the fault record.
+	jitters := 0
+	for _, f := range res.Faults {
+		if f.Kind == FaultJitter {
+			jitters++
+		}
+	}
+	if jitters == 0 {
+		t.Error("jitter bound 9 recorded no jitter faults")
+	}
+}
+
+// TestRecoverWaitsOutDeadPorts: when every remaining byte is stranded on a
+// failed port, Recover waits for the repair instead of burning δ on dead
+// establishments the way the naive replay does.
+func TestRecoverWaitsOutDeadPorts(t *testing.T) {
+	d := mustMatrix(t, [][]int64{{30}})
+	const delta = 5
+	fs := &faults.Schedule{PortEvents: []faults.PortEvent{
+		{Tick: 0, Port: 0, Down: true},
+		{Tick: 100, Port: 0, Down: false},
+	}}
+	res, err := RunFaults(d, NewRecover(delta), delta, fs)
+	if err != nil {
+		t.Fatalf("RunFaults: %v", err)
+	}
+	if res.Establishments != 1 {
+		t.Errorf("Recover performed %d establishments, want exactly 1 timed against the repair", res.Establishments)
+	}
+	// Recover overlaps its δ with the outage: circuits come up at the repair
+	// tick and the 30 ticks of demand drain immediately after.
+	if res.CCT != 100+30 {
+		t.Errorf("CCT = %d, want repair(100) + demand(30) with delta pipelined into the outage", res.CCT)
+	}
+
+	cs, err := core.RecoSin(d, delta)
+	if err != nil {
+		t.Fatalf("RecoSin: %v", err)
+	}
+	naive, err := RunFaults(d, NewReplayLoop(cs), delta, fs)
+	if err != nil {
+		t.Fatalf("naive RunFaults: %v", err)
+	}
+	if naive.CCT < res.CCT {
+		t.Errorf("naive replay CCT %d beat Recover CCT %d", naive.CCT, res.CCT)
+	}
+	if naive.Establishments <= res.Establishments {
+		t.Errorf("naive replay establishments %d should exceed Recover's %d", naive.Establishments, res.Establishments)
+	}
+}
+
+// TestRecoverMatchesPlanWithoutFaults: with no faults injected, Recover's
+// first plan is exactly the Reco-Sin schedule, so its outcome matches the
+// analytic executor.
+func TestRecoverMatchesPlanWithoutFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(6)
+		delta := int64(1 + rng.Intn(40))
+		d := randomDemand(rng, n, 0.5)
+		cs, err := core.RecoSin(d, delta)
+		if err != nil {
+			t.Fatalf("trial %d: RecoSin: %v", trial, err)
+		}
+		exec, err := ocs.ExecAllStop(d, cs, delta)
+		if err != nil {
+			t.Fatalf("trial %d: exec: %v", trial, err)
+		}
+		res, err := Run(d, NewRecover(delta), delta)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.CCT != exec.CCT {
+			t.Errorf("trial %d: Recover CCT %d != Reco-Sin exec CCT %d", trial, res.CCT, exec.CCT)
+		}
+	}
+}
+
+// TestRunFaultsDeterministic: the same demand, controller construction and
+// fault schedule reproduce the identical result structure.
+func TestRunFaultsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	d := randomDemand(rng, 6, 0.5)
+	fs, err := faults.Generate(faults.GenConfig{
+		N: 6, Seed: 21, Horizon: 2000, PortFailRate: 0.5, RepairAfter: 400,
+		SetupFailProb: 0.1, JitterBound: 3,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	run := func() *Result {
+		res, err := RunFaults(d, NewRecover(10), 10, fs)
+		if err != nil {
+			t.Fatalf("RunFaults: %v", err)
+		}
+		return res
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Error("two identical faulted runs disagree")
+	}
+}
+
+// TestWaitValidation: waiting with nothing to wait for is a controller bug.
+type waitController struct{ wait int64 }
+
+func (w waitController) Next(State) Decision { return Decision{Wait: w.wait} }
+
+func TestWaitValidation(t *testing.T) {
+	d := mustMatrix(t, [][]int64{{5}})
+	if _, err := Run(d, waitController{wait: 10}, 1); !errors.Is(err, ErrController) {
+		t.Errorf("wait without pending event: %v", err)
+	}
+	fs := &faults.Schedule{PortEvents: []faults.PortEvent{{Tick: 50, Port: 0, Down: true}}}
+	if _, err := RunFaults(d, waitController{wait: -2}, 1, fs); !errors.Is(err, ErrController) {
+		t.Errorf("negative wait: %v", err)
+	}
+}
