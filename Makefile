@@ -22,8 +22,11 @@ test-short:
 race:
 	$(GO) test -race ./...
 
+# Per-package statement coverage, with a total line at the bottom.
 cover:
-	$(GO) test -cover ./...
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+	@rm -f coverage.out
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

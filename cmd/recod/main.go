@@ -9,23 +9,32 @@
 //	POST /v1/schedule/single     {"demand": [[...]], "delta": 100}
 //	POST /v1/schedule/multi      {"demands": [...], "weights": [...], "delta": 100, "c": 4}
 //	POST /v1/workload/generate   {"n": 40, "numCoflows": 20, "seed": 1}
+//	GET  /healthz                liveness: uptime, Go version
+//	GET  /metrics                Prometheus text format (HTTP + scheduler pipeline)
+//	GET  /metrics.json           the same registry as expvar-style JSON
+//	GET  /v1/metrics             per-endpoint plain text with latency quantiles
 //
-// The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests for up to the -drain timeout.
+// With -pprof, net/http/pprof is mounted under /debug/pprof/ (off by
+// default). The process shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests for up to the -drain timeout.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"reco/internal/api"
+	"reco/internal/obs"
 )
 
 func main() {
@@ -34,15 +43,25 @@ func main() {
 
 func run() int {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:8372", "listen address")
-		drain = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		addr      = flag.String("addr", "127.0.0.1:8372", "listen address")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		withPprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "recod: ", log.LstdFlags)
+
+	// One registry carries everything: HTTP metrics from the api collector
+	// and — because the sink is attached process-wide — the scheduler
+	// pipeline series (stage timings, BvN terms, matching and LP counters)
+	// emitted while requests are being served.
+	reg := obs.NewRegistry()
+	obs.Attach(&obs.Sink{Metrics: reg})
+	defer obs.Detach()
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           handler(logger),
+		Handler:           handler(logger, reg, *withPprof),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -73,10 +92,40 @@ func run() int {
 	return 0
 }
 
+// startTime anchors the /healthz uptime report.
+var startTime = time.Now()
+
 // handler is the full recod middleware chain: access logging outermost, so
-// recovered panics are logged as 500s, then panic recovery, then the API.
-func handler(logger *log.Logger) http.Handler {
-	return logRequests(logger, recoverPanics(logger, api.NewInstrumentedHandler()))
+// recovered panics are logged as 500s, then panic recovery, then the
+// routing mux — operational endpoints (health, metrics, optional pprof)
+// beside the instrumented API.
+func handler(logger *log.Logger, reg *obs.Registry, withPprof bool) http.Handler {
+	apiHandler, _ := api.NewInstrumentedHandlerOn(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/", apiHandler)
+	mux.HandleFunc("/healthz", handleHealthz)
+	mux.Handle("/metrics", reg.PromHandler())
+	mux.Handle("/metrics.json", reg.JSONHandler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return logRequests(logger, recoverPanics(logger, mux))
+}
+
+// handleHealthz is the process-level liveness endpoint: uptime and the Go
+// version the binary was built with (the API keeps its own /v1/healthz).
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "use GET", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime\":%q,\"go\":%q}\n",
+		time.Since(startTime).Round(time.Millisecond), runtime.Version())
 }
 
 // recoverPanics converts a panicking handler into a structured JSON 500 and

@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"reco/internal/obs"
 )
 
 // TestRecoverPanicsReturnsJSON500: a panicking handler yields a structured
@@ -63,7 +65,7 @@ func TestRecoverPanicsReturnsJSON500(t *testing.T) {
 // recovery middleware.
 func TestHandlerServesAPIAfterPanic(t *testing.T) {
 	logger := log.New(io.Discard, "", 0)
-	srv := httptest.NewServer(handler(logger))
+	srv := httptest.NewServer(handler(logger, obs.NewRegistry(), false))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/v1/healthz")
@@ -99,4 +101,111 @@ func TestRecoverPanicsPropagatesAbort(t *testing.T) {
 		}
 	}()
 	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+}
+
+// TestOperationalEndpoints drives the full recod chain: /healthz reports
+// uptime and Go version, /metrics serves Prometheus text including both
+// HTTP and scheduler-pipeline series after a scheduling request, and
+// /metrics.json parses as JSON.
+func TestOperationalEndpoints(t *testing.T) {
+	obs.Detach()
+	t.Cleanup(obs.Detach)
+	logger := log.New(io.Discard, "", 0)
+	reg := obs.NewRegistry()
+	// main attaches the sink; the test stands in for it so pipeline
+	// metrics emitted while serving land in the same registry.
+	obs.Attach(&obs.Sink{Metrics: reg})
+	srv := httptest.NewServer(handler(logger, reg, false))
+	defer srv.Close()
+
+	hz, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer hz.Body.Close()
+	var health struct {
+		Status string `json:"status"`
+		Uptime string `json:"uptime"`
+		Go     string `json:"go"`
+	}
+	if err := json.NewDecoder(hz.Body).Decode(&health); err != nil {
+		t.Fatalf("decoding /healthz: %v", err)
+	}
+	if health.Status != "ok" || health.Uptime == "" || !strings.HasPrefix(health.Go, "go") {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	// One scheduling request so pipeline stages fire.
+	single, err := http.Post(srv.URL+"/v1/schedule/single", "application/json",
+		strings.NewReader(`{"demand":[[0,400],[400,0]],"delta":100}`))
+	if err != nil {
+		t.Fatalf("POST schedule/single: %v", err)
+	}
+	single.Body.Close()
+	if single.StatusCode != http.StatusOK {
+		t.Fatalf("schedule/single status %d", single.StatusCode)
+	}
+
+	prom, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer prom.Body.Close()
+	var b strings.Builder
+	if _, err := io.Copy(&b, prom.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE http_requests_total counter",
+		`http_requests_total{endpoint="POST /v1/schedule/single"} 1`,
+		"# TYPE pipeline_stage_seconds histogram",
+		`pipeline_stage_seconds_count{stage="stuff"} 1`,
+		"reco_sin_schedules_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	js, err := http.Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatalf("GET /metrics.json: %v", err)
+	}
+	defer js.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(js.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding /metrics.json: %v", err)
+	}
+	if _, ok := out["reco_sin_schedules_total"]; !ok {
+		t.Errorf("/metrics.json missing pipeline counter; keys: %d", len(out))
+	}
+}
+
+// TestPprofGating: /debug/pprof/ is 404 without -pprof and serves the
+// index with it.
+func TestPprofGating(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+
+	off := httptest.NewServer(handler(logger, obs.NewRegistry(), false))
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof served without -pprof")
+	}
+
+	on := httptest.NewServer(handler(logger, obs.NewRegistry(), true))
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status %d with -pprof", resp.StatusCode)
+	}
 }

@@ -34,6 +34,7 @@ import (
 	"reco/internal/gantt"
 	"reco/internal/lpiigb"
 	"reco/internal/matrix"
+	"reco/internal/obs"
 	"reco/internal/ocs"
 	"reco/internal/ordering"
 	"reco/internal/parallel"
@@ -62,6 +63,8 @@ func run() int {
 		showGantt  = flag.Bool("gantt", false, "render the schedule as an ASCII Gantt chart")
 		ganttWidth = flag.Int("ganttwidth", 100, "gantt chart width in columns")
 
+		tracefile = flag.String("tracefile", "", "write a Chrome trace-event JSON of the run (load in chrome://tracing or ui.perfetto.dev)")
+
 		withFaults = flag.Bool("faults", false, "run each coflow's Reco-Sin schedule under injected faults (replay vs recover)")
 		pfail      = flag.Float64("pfail", 0.10, "with -faults: per-port failure probability inside the nominal run")
 		setupFail  = flag.Float64("setupfail", 0, "with -faults: per-establishment circuit-setup failure probability")
@@ -70,6 +73,17 @@ func run() int {
 		faultSeed  = flag.Int64("faultseed", 1, "with -faults: fault-schedule seed")
 	)
 	flag.Parse()
+
+	// With -tracefile, a full sink is attached for the whole run: pipeline
+	// stages land as wall-clock spans, simulator activity as tick events,
+	// and the analytic schedule's flow intervals are added below; the
+	// combined trace is written on exit.
+	var tracer *obs.Tracer
+	if *tracefile != "" {
+		tracer = obs.NewTracer()
+		obs.Attach(&obs.Sink{Metrics: obs.NewRegistry(), Trace: tracer})
+		defer obs.Detach()
+	}
 
 	coflows, err := loadWorkload(*trace, *n, *numCf, *seed, *c**delta)
 	if err != nil {
@@ -98,6 +112,10 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
 			return 1
 		}
+		if err := writeTrace(*tracefile, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
+			return 1
+		}
 		return 0
 	}
 
@@ -105,6 +123,16 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
 		return 1
+	}
+	if tracer != nil {
+		for _, f := range flows {
+			tracer.TickSpan(fmt.Sprintf("in %02d", f.In), fmt.Sprintf("cf%d→%d", f.Coflow, f.Out),
+				f.Start, f.End, nil)
+		}
+		if err := writeTrace(*tracefile, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
+			return 1
+		}
 	}
 
 	vals := stats.Int64s(ccts)
@@ -287,6 +315,27 @@ func runFaulted(ds []*matrix.Matrix, o faultOpts) error {
 	fmt.Printf("sum clean CCT  %.0f ticks\n", cleanSum)
 	fmt.Printf("replay         %.0f ticks (x%.3f of clean)\n", replaySum, replaySum/cleanSum)
 	fmt.Printf("recover        %.0f ticks (x%.3f of clean)\n", recoverSum, recoverSum/cleanSum)
+	return nil
+}
+
+// writeTrace renders the tracer to path; a nil tracer is a no-op so the
+// call sits on every success path unconditionally.
+func writeTrace(path string, tr *obs.Tracer) error {
+	if tr == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tracefile: %w", err)
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("tracefile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("tracefile: %w", err)
+	}
+	fmt.Printf("trace          %s (%d events)\n", path, tr.Len())
 	return nil
 }
 

@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"reco/internal/obs"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *Client) {
@@ -263,5 +265,55 @@ func TestMetricsEndpoint(t *testing.T) {
 	defer post.Body.Close()
 	if post.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST metrics status = %d, want 405", post.StatusCode)
+	}
+}
+
+// TestMetricsQuantilesAndRegistry: the plain-text handler reports latency
+// quantile columns, and the same samples are visible through the shared
+// obs registry in Prometheus form.
+func TestMetricsQuantilesAndRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	h, m := NewInstrumentedHandlerOn(reg)
+	if m.Registry() != reg {
+		t.Fatal("collector not publishing into the provided registry")
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	client := NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := client.Healthz(ctx); err != nil {
+			t.Fatalf("Healthz: %v", err)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var b bytes.Buffer
+	if _, err := b.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, col := range []string{"p50=", "p95=", "p99=", "mean=", "max="} {
+		if !strings.Contains(text, col) {
+			t.Errorf("metrics text missing %q column:\n%s", col, text)
+		}
+	}
+
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`http_requests_total{endpoint="GET /v1/healthz"} 5`,
+		`http_request_seconds_count{endpoint="GET /v1/healthz"} 5`,
+		"# TYPE http_request_seconds histogram",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prometheus export missing %q:\n%s", want, prom.String())
+		}
 	}
 }

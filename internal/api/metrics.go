@@ -6,21 +6,51 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"reco/internal/obs"
 )
 
-// Metrics collects per-endpoint request counts and latency totals. The zero
-// value is ready to use; it is safe for concurrent use.
+// Metrics collects per-endpoint request counts and latency distributions
+// on an obs.Registry, keyed by "METHOD path". The zero value is ready to
+// use; it is safe for concurrent use, and the request hot path is
+// lock-free — a sync.Map lookup plus atomic counter and histogram updates,
+// no global mutex.
 type Metrics struct {
-	mu       sync.Mutex
-	requests map[string]*endpointStats
+	once      sync.Once
+	reg       *obs.Registry
+	endpoints sync.Map // key -> *endpointMetrics
 }
 
-type endpointStats struct {
-	count    int64
-	errors   int64
-	totalDur time.Duration
-	maxDur   time.Duration
+// endpointMetrics are one endpoint's series, resolved once at first
+// request and cached so the hot path never re-renders label strings.
+type endpointMetrics struct {
+	count    *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+	maxNanos atomic.Int64
+}
+
+// NewMetrics returns a Metrics collector publishing into reg, so the same
+// registry can also carry scheduler-pipeline series and be exported once.
+// A nil reg gets a private registry on first use (the zero-value behavior).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{reg: reg}
+}
+
+// Registry returns the underlying obs registry (creating a private one for
+// zero-value collectors), for callers that export it in other formats.
+func (m *Metrics) Registry() *obs.Registry {
+	m.once.Do(func() {
+		if m.reg == nil {
+			m.reg = obs.NewRegistry()
+		}
+		m.reg.SetHelp("http_requests_total", "requests served, by endpoint")
+		m.reg.SetHelp("http_request_errors_total", "responses with status >= 400, by endpoint")
+		m.reg.SetHelp("http_request_seconds", "request latency, by endpoint")
+	})
+	return m.reg
 }
 
 // Middleware wraps next, recording a sample per request keyed by
@@ -34,55 +64,78 @@ func (m *Metrics) Middleware(next http.Handler) http.Handler {
 	})
 }
 
+func (m *Metrics) endpoint(key string) *endpointMetrics {
+	if v, ok := m.endpoints.Load(key); ok {
+		return v.(*endpointMetrics)
+	}
+	reg := m.Registry()
+	e := &endpointMetrics{
+		count:   reg.Counter(obs.L("http_requests_total", "endpoint", key)),
+		errors:  reg.Counter(obs.L("http_request_errors_total", "endpoint", key)),
+		latency: reg.Histogram(obs.L("http_request_seconds", "endpoint", key), nil),
+	}
+	// A racing creator built an identical wrapper around the same
+	// registry series; either winning is correct.
+	v, _ := m.endpoints.LoadOrStore(key, e)
+	return v.(*endpointMetrics)
+}
+
 func (m *Metrics) observe(key string, dur time.Duration, isError bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.requests == nil {
-		m.requests = make(map[string]*endpointStats)
-	}
-	s := m.requests[key]
-	if s == nil {
-		s = &endpointStats{}
-		m.requests[key] = s
-	}
-	s.count++
+	e := m.endpoint(key)
+	e.count.Inc()
 	if isError {
-		s.errors++
+		e.errors.Inc()
 	}
-	s.totalDur += dur
-	if dur > s.maxDur {
-		s.maxDur = dur
+	e.latency.ObserveDuration(dur)
+	for {
+		old := e.maxNanos.Load()
+		if int64(dur) <= old || e.maxNanos.CompareAndSwap(old, int64(dur)) {
+			return
+		}
 	}
 }
 
 // Handler serves the collected metrics as plain text, one endpoint per
-// line: key, count, errors, mean and max latency.
+// line: key, count, errors, then mean, p50/p95/p99 (histogram estimates),
+// and max latency.
 func (m *Metrics) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, "use GET")
 			return
 		}
-		m.mu.Lock()
-		keys := make([]string, 0, len(m.requests))
-		for k := range m.requests {
-			keys = append(keys, k)
+		type row struct {
+			key string
+			e   *endpointMetrics
 		}
-		sort.Strings(keys)
+		var rows []row
+		m.endpoints.Range(func(k, v any) bool {
+			rows = append(rows, row{k.(string), v.(*endpointMetrics)})
+			return true
+		})
+		sort.Slice(rows, func(a, b int) bool { return rows[a].key < rows[b].key })
 		var b strings.Builder
-		for _, k := range keys {
-			s := m.requests[k]
+		for _, rw := range rows {
+			count := rw.e.count.Value()
 			mean := time.Duration(0)
-			if s.count > 0 {
-				mean = s.totalDur / time.Duration(s.count)
+			if count > 0 {
+				mean = time.Duration(rw.e.latency.Sum() / float64(count) * float64(time.Second))
 			}
-			fmt.Fprintf(&b, "%-40s count=%d errors=%d mean=%s max=%s\n",
-				k, s.count, s.errors, mean.Round(time.Microsecond), s.maxDur.Round(time.Microsecond))
+			fmt.Fprintf(&b, "%-40s count=%d errors=%d mean=%s p50=%s p95=%s p99=%s max=%s\n",
+				rw.key, count, rw.e.errors.Value(),
+				mean.Round(time.Microsecond),
+				quantileDur(rw.e.latency, 0.50),
+				quantileDur(rw.e.latency, 0.95),
+				quantileDur(rw.e.latency, 0.99),
+				time.Duration(rw.e.maxNanos.Load()).Round(time.Microsecond))
 		}
-		m.mu.Unlock()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte(b.String()))
 	})
+}
+
+func quantileDur(h *obs.Histogram, q float64) time.Duration {
+	return time.Duration(h.Quantile(q) * float64(time.Second)).Round(time.Microsecond)
 }
 
 type metricsRecorder struct {
@@ -97,11 +150,20 @@ func (r *metricsRecorder) WriteHeader(status int) {
 }
 
 // NewInstrumentedHandler returns the API handler wrapped with metrics
-// collection and a /v1/metrics endpoint exposing it.
+// collection and a /v1/metrics endpoint exposing it, on a private
+// registry.
 func NewInstrumentedHandler() http.Handler {
-	m := &Metrics{}
+	h, _ := NewInstrumentedHandlerOn(nil)
+	return h
+}
+
+// NewInstrumentedHandlerOn is NewInstrumentedHandler publishing into reg
+// (nil: a private registry); it also returns the collector so callers can
+// export the registry in other formats (Prometheus, JSON).
+func NewInstrumentedHandlerOn(reg *obs.Registry) (http.Handler, *Metrics) {
+	m := NewMetrics(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/v1/metrics", m.Handler())
 	mux.Handle("/", m.Middleware(NewHandler()))
-	return mux
+	return mux, m
 }

@@ -16,6 +16,7 @@ import (
 
 	"reco/internal/matching"
 	"reco/internal/matrix"
+	"reco/internal/obs"
 )
 
 // ErrNotDoublyStochastic reports that the input matrix's row and column sums
@@ -81,6 +82,11 @@ func Decompose(m *matrix.Matrix, s Strategy) ([]Term, error) {
 			res.Add(i, j, -coef)
 		}
 		terms = append(terms, Term{Perm: perm, Coef: coef})
+	}
+	if snk := obs.Current(); snk != nil {
+		snk.Inc("bvn_decompositions_total")
+		snk.Count("bvn_terms_total", int64(len(terms)))
+		snk.ObserveBuckets("bvn_terms_per_matrix", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, float64(len(terms)))
 	}
 	return terms, nil
 }

@@ -13,6 +13,7 @@ import (
 
 	"reco/internal/bvn"
 	"reco/internal/matrix"
+	"reco/internal/obs"
 	"reco/internal/ocs"
 	"reco/internal/schedule"
 )
@@ -69,14 +70,22 @@ func RecoSin(d *matrix.Matrix, delta int64) (ocs.CircuitSchedule, error) {
 	if cs, ok := ocs.SinglePortSchedule(d); ok {
 		return cs, nil
 	}
+	snk := obs.Current()
+	end := snk.Stage("regularize")
 	reg := Regularize(d, delta)
+	end()
 	// Row and column sums of reg are multiples of delta, so its rho already
 	// lies on the grid and stuffing deficits stay multiples of delta.
+	end = snk.Stage("stuff")
 	stuffed := matrix.StuffPreferNonZero(reg)
+	end()
+	end = snk.Stage("bvn_decompose")
 	terms, err := bvn.Decompose(stuffed, bvn.MaxMin)
+	end()
 	if err != nil {
 		return nil, fmt.Errorf("core: reco-sin decomposition: %w", err)
 	}
+	snk.Inc("reco_sin_schedules_total")
 	cs := make(ocs.CircuitSchedule, len(terms))
 	for i, t := range terms {
 		cs[i] = ocs.Assignment{Perm: t.Perm, Dur: t.Coef}

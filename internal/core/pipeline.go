@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"reco/internal/matrix"
+	"reco/internal/obs"
 	"reco/internal/ordering"
 	"reco/internal/packet"
 	"reco/internal/schedule"
@@ -34,18 +35,27 @@ func ScheduleMul(ds []*matrix.Matrix, w []float64, delta, c int64) (*MulPipeline
 	if len(ds) == 0 {
 		return nil, fmt.Errorf("%w: no coflows", ErrBadParam)
 	}
+	snk := obs.Current()
+	end := snk.Stage("ordering")
 	order, err := ordering.PrimalDual(ds, w)
+	end()
 	if err != nil {
 		return nil, fmt.Errorf("core: reco-mul ordering: %w", err)
 	}
+	end = snk.Stage("packet_schedule")
 	sp, err := packet.ListSchedule(ds, order)
+	end()
 	if err != nil {
 		return nil, fmt.Errorf("core: reco-mul packet schedule: %w", err)
 	}
+	end = snk.Stage("reco_mul_transform")
 	mul, err := RecoMul(sp, ds[0].N(), delta, c)
+	end()
 	if err != nil {
 		return nil, err
 	}
+	snk.Inc("reco_mul_batches_total")
+	snk.Count("reco_mul_reconfigs_total", int64(mul.Reconfigs))
 	return &MulPipelineResult{
 		Flows:      mul.Flows,
 		CCTs:       mul.Flows.CCTs(len(ds)),

@@ -54,16 +54,16 @@ func cdfSingle(cfg Config, id, titleFmt string, pick func(singleMetrics) (reco, 
 		if len(recoVals) == 0 {
 			continue
 		}
-		for _, p := range cdfPercentiles {
-			r, err := stats.Percentile(recoVals, p)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", id, err)
-			}
-			s, err := stats.Percentile(solVals, p)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", id, err)
-			}
-			t.AddRow(fmt.Sprintf("%s p%.0f", cl, p), r, s)
+		recoPs, err := stats.Percentiles(recoVals, cdfPercentiles...)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		solPs, err := stats.Percentiles(solVals, cdfPercentiles...)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		for i, p := range cdfPercentiles {
+			t.AddRow(fmt.Sprintf("%s p%.0f", cl, p), recoPs[i], solPs[i])
 		}
 	}
 	return t, nil

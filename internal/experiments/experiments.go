@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 
+	"reco/internal/obs"
 	"reco/internal/parallel"
 )
 
@@ -174,8 +175,37 @@ func formatCell(v float64) string {
 // Runner is an experiment entry point.
 type Runner func(Config) (*Table, error)
 
-// Registry maps experiment ids (DESIGN.md §4) to their runners.
+// instrumented wraps a runner so each regeneration lands on the attached
+// sink as an `exp:<id>` stage span plus per-experiment run/error counters.
+// Detached, the wrapper is two nil checks around the call.
+func instrumented(id string, run Runner) Runner {
+	return func(cfg Config) (*Table, error) {
+		snk := obs.Current()
+		if snk == nil {
+			return run(cfg)
+		}
+		end := snk.Stage("exp:" + id)
+		t, err := run(cfg)
+		end()
+		snk.Inc(obs.L("experiment_runs_total", "id", id))
+		if err != nil {
+			snk.Inc(obs.L("experiment_errors_total", "id", id))
+		}
+		return t, err
+	}
+}
+
+// Registry maps experiment ids (DESIGN.md §4) to their runners. Every
+// runner is returned pre-wrapped with instrumentation (see instrumented).
 func Registry() map[string]Runner {
+	reg := registry()
+	for id, run := range reg {
+		reg[id] = instrumented(id, run)
+	}
+	return reg
+}
+
+func registry() map[string]Runner {
 	return map[string]Runner{
 		"table1":         Table1,
 		"table2":         Table2,

@@ -188,8 +188,8 @@ func ExtOnline(cfg Config) (*Table, error) {
 		if err != nil {
 			return Row{}, fmt.Errorf("ext-online %s: %w", pol.Name(), err)
 		}
-		p95, _ := stats.Percentile(vals, 95)
-		return Row{Label: pol.Name(), Cells: []float64{mean, p95, float64(res.Reconfigs), float64(res.ServiceUnits)}}, nil
+		ps, _ := stats.Percentiles(vals, 95) // vals proven non-empty by Mean above
+		return Row{Label: pol.Name(), Cells: []float64{mean, ps[0], float64(res.Reconfigs), float64(res.ServiceUnits)}}, nil
 	})
 	if err != nil {
 		return nil, err

@@ -169,15 +169,15 @@ func aggregateRatios(algVals, recoVals []float64) (avg, p95 float64, err error) 
 	if err != nil {
 		return 0, 0, err
 	}
-	algP95, err := stats.Percentile(algVals, 95)
+	algPs, err := stats.Percentiles(algVals, 95)
 	if err != nil {
 		return 0, 0, err
 	}
-	recoP95, err := stats.Percentile(recoVals, 95)
+	recoPs, err := stats.Percentiles(recoVals, 95)
 	if err != nil {
 		return 0, 0, err
 	}
-	return stats.Ratio(algMean, recoMean), stats.Ratio(algP95, recoP95), nil
+	return stats.Ratio(algMean, recoMean), stats.Ratio(algPs[0], recoPs[0]), nil
 }
 
 var mulClassOrder = []workload.Class{workload.Sparse, workload.Normal, workload.Dense, mixed}

@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"reco/internal/obs"
 )
 
 // Op is a constraint relation.
@@ -87,6 +89,7 @@ type Solution struct {
 // Solve runs the two-phase simplex and returns an optimal solution, or
 // ErrInfeasible / ErrUnbounded / ErrIterationLimit.
 func (p *Problem) Solve() (*Solution, error) {
+	obs.Current().Inc("lp_solves_total")
 	n := len(p.costs)
 	m := len(p.cons)
 	if m == 0 {
@@ -260,6 +263,12 @@ type tableau struct {
 // optimize runs primal simplex iterations for the given cost vector on the
 // current basic feasible solution and returns the optimal objective value.
 func (t *tableau) optimize(costs []float64) (float64, error) {
+	// Pivot count flushed on every exit; with no sink attached this is a
+	// plain local increment per iteration.
+	iters := 0
+	if snk := obs.Current(); snk != nil {
+		defer func() { snk.Count("lp_simplex_iterations_total", int64(iters)) }()
+	}
 	m := len(t.rows)
 	// Reduced costs: z_j = c_j − c_B · B⁻¹A_j, maintained as an extra row.
 	z := make([]float64, t.total+1)
@@ -282,6 +291,7 @@ func (t *tableau) optimize(costs []float64) (float64, error) {
 		maxIter = 1000
 	}
 	for iter := 0; iter < maxIter; iter++ {
+		iters = iter + 1
 		// Entering column: most negative reduced cost (Dantzig); switch to
 		// Bland's rule late to guarantee termination on degenerate problems.
 		bland := iter > maxIter/2

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"reco/internal/matrix"
+	"reco/internal/obs"
 )
 
 // ErrNoPerfectMatching reports that the requested perfect matching does not
@@ -42,6 +43,7 @@ func PerfectAtLeast(m *matrix.Matrix, threshold int64) ([]int, error) {
 // doubly stochastic matrix does, by Birkhoff's theorem); otherwise
 // ErrNoPerfectMatching is returned.
 func BottleneckPerfect(m *matrix.Matrix) ([]int, int64, error) {
+	obs.Current().Inc("matching_bottleneck_total")
 	n := m.N()
 	values := make([]int64, 0, n*n)
 	for i := 0; i < n; i++ {

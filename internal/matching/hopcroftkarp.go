@@ -9,6 +9,8 @@
 // constraint.
 package matching
 
+import "reco/internal/obs"
+
 // Graph is a balanced bipartite graph on n left and n right vertices,
 // represented by adjacency lists of the left side.
 type Graph struct {
@@ -37,6 +39,7 @@ const infDist = int(^uint(0) >> 1)
 // algorithm in O(E·√V). It returns matchL, where matchL[u] is the right
 // vertex matched to left vertex u or −1, and the matching size.
 func (g *Graph) MaxMatching() (matchL []int, size int) {
+	obs.Current().Inc("matching_hopcroftkarp_total")
 	matchL = make([]int, g.n)
 	matchR := make([]int, g.n)
 	for i := range matchL {

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"reco/internal/matrix"
+	"reco/internal/obs"
 )
 
 // MaxWeightPerfect solves the assignment problem on the complete bipartite
@@ -16,6 +17,7 @@ import (
 // matching over buffered demand), so it is provided as a substrate for those
 // baselines and for tests that need an optimal matching oracle.
 func MaxWeightPerfect(m *matrix.Matrix) ([]int, int64) {
+	obs.Current().Inc("matching_hungarian_total")
 	n := m.N()
 	// Convert to a min-cost assignment: cost = maxEntry − weight ≥ 0.
 	maxEntry := m.MaxEntry()

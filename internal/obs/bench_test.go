@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The detached benchmarks are the ones the <2% hot-path budget rests on:
+// every instrumented call site in sim, matching, lp, and parallel costs
+// one Current() load plus a nil-safe helper when no sink is attached.
+
+func BenchmarkDetachedCount(b *testing.B) {
+	Detach()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Current().Count("x_total", 1)
+	}
+}
+
+func BenchmarkDetachedStage(b *testing.B) {
+	Detach()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		end := Current().Stage("s")
+		end()
+	}
+}
+
+func BenchmarkAttachedCount(b *testing.B) {
+	Attach(&Sink{Metrics: NewRegistry()})
+	b.Cleanup(Detach)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Current().Count("x_total", 1)
+	}
+}
+
+func BenchmarkAttachedObserve(b *testing.B) {
+	Attach(&Sink{Metrics: NewRegistry()})
+	b.Cleanup(Detach)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Current().ObserveDuration("lat_seconds", time.Microsecond)
+	}
+}
+
+func BenchmarkAttachedStage(b *testing.B) {
+	Attach(&Sink{Metrics: NewRegistry()})
+	b.Cleanup(Detach)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		end := Current().Stage("s")
+		end()
+	}
+}

@@ -18,6 +18,9 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"reco/internal/obs"
 )
 
 // EnvWorkers is the environment variable overriding the default worker
@@ -56,11 +59,32 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	// With a sink attached, every trial is timed per worker and the
+	// in-flight count is kept as a gauge (the pool's queue depth: trials
+	// currently executing out of the n handed out dynamically). Detached,
+	// run is fn itself and the fan-out is untouched.
+	run := func(_, i int) error { return fn(i) }
+	if snk := obs.Current(); snk != nil {
+		snk.GaugeSet("parallel_workers", float64(workers))
+		run = func(w, i int) error {
+			snk.GaugeAdd("parallel_inflight", 1)
+			endSpan := snk.SpanBegin("parallel", "trial")
+			start := time.Now()
+			err := fn(i)
+			dur := time.Since(start)
+			endSpan(map[string]any{"trial": i, "worker": w})
+			snk.ObserveDuration("parallel_trial_seconds", dur)
+			snk.ObserveDuration(obs.L("parallel_worker_trial_seconds", "worker", strconv.Itoa(w)), dur)
+			snk.Inc("parallel_trials_total")
+			snk.GaugeAdd("parallel_inflight", -1)
+			return err
+		}
+	}
 	if workers == 1 {
 		// Inline fast path: no goroutines, and the sequential semantics
 		// (stop at first error) are exact rather than emulated.
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := run(0, i); err != nil {
 				return err
 			}
 		}
@@ -78,7 +102,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = run(w, i)
 			}
 		}()
 	}

@@ -24,6 +24,7 @@ import (
 
 	"reco/internal/faults"
 	"reco/internal/matrix"
+	"reco/internal/obs"
 	"reco/internal/ocs"
 	"reco/internal/schedule"
 )
@@ -220,6 +221,17 @@ func RunFaults(d *matrix.Matrix, ctrl Controller, delta int64, fs *faults.Schedu
 	res := &Result{}
 	var now int64
 
+	// Observability is strictly read-only on the simulation: counters and
+	// trace events derive from the same Result the caller gets, so an
+	// attached sink can never change an outcome (enforced by the
+	// instrumented-vs-uninstrumented differential test). The flush runs on
+	// every exit that produced a result, including faulted partial runs.
+	snk := obs.Current()
+	var waits, waitTicks, drained int64
+	if snk != nil {
+		defer func() { flushSimObs(snk, res, waits, waitTicks, drained) }()
+	}
+
 	// Port state, maintained incrementally against the event cursor; every
 	// event is applied (and recorded) exactly once.
 	var down []bool
@@ -273,6 +285,8 @@ func RunFaults(d *matrix.Matrix, ctrl Controller, delta int64, fs *faults.Schedu
 				if nextEvent == -1 {
 					return nil, fmt.Errorf("%w: wait with no port event pending", ErrController)
 				}
+				waits++
+				waitTicks += dec.Wait
 				now += dec.Wait
 				continue
 			}
@@ -394,6 +408,7 @@ func RunFaults(d *matrix.Matrix, ctrl Controller, delta int64, fs *faults.Schedu
 				send = r
 			}
 			rem.Set(i, j, r-send)
+			drained += send
 			res.Flows = append(res.Flows, schedule.FlowInterval{
 				Start: now, End: now + send, In: i, Out: j, Coflow: 0,
 			})
@@ -406,6 +421,51 @@ func RunFaults(d *matrix.Matrix, ctrl Controller, delta int64, fs *faults.Schedu
 	}
 	res.CCT = now
 	return res, nil
+}
+
+// flushSimObs publishes one finished (or aborted) run to the sink:
+// aggregate counters from the Result, plus — when a tracer is attached —
+// the establishment log as reconfig/transmit spans, faults as instants,
+// and every flow interval on its ingress port's track, all on the
+// simulated-time axis (1 tick = 1µs in the trace viewer).
+func flushSimObs(snk *obs.Sink, res *Result, waits, waitTicks, drained int64) {
+	snk.Inc("sim_runs_total")
+	snk.Count("sim_establishments_total", int64(res.Establishments))
+	snk.Count("sim_setup_failures_total", int64(res.SetupFailures))
+	snk.Count("sim_conf_ticks_total", res.ConfTime)
+	snk.Count("sim_drained_ticks_total", drained)
+	snk.Count("sim_waits_total", waits)
+	snk.Count("sim_wait_ticks_total", waitTicks)
+	for _, f := range res.Faults {
+		snk.Inc(obs.L("sim_faults_total", "kind", f.Kind.String()))
+	}
+	snk.ObserveBuckets("sim_cct_ticks", obs.TickBuckets, float64(res.CCT))
+
+	if snk.Trace == nil {
+		return
+	}
+	for k, tr := range res.Log {
+		args := map[string]any{"establishment": k}
+		snk.TickSpan("switch", "reconfig", tr.Start, tr.Up, args)
+		switch {
+		case tr.SetupFailed:
+			snk.TickInstant("switch", "setup-failed", tr.Up, args)
+		case tr.Down > tr.Up:
+			if tr.Interrupted {
+				args = map[string]any{"establishment": k, "interrupted": true}
+			}
+			snk.TickSpan("switch", "transmit", tr.Up, tr.Down, args)
+		}
+	}
+	for _, f := range res.Faults {
+		snk.TickInstant("faults", f.Kind.String(), f.Tick, map[string]any{
+			"port": f.Port, "establishment": f.Establishment,
+		})
+	}
+	for _, fl := range res.Flows {
+		snk.TickSpan(fmt.Sprintf("in %02d", fl.In), fmt.Sprintf("→%d", fl.Out),
+			fl.Start, fl.End, nil)
+	}
 }
 
 // unreachableOnly reports whether every remaining demand entry touches a

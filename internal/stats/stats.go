@@ -46,6 +46,37 @@ func Percentile(xs []float64, p float64) (float64, error) {
 	return sorted[rank-1], nil
 }
 
+// Percentiles returns the requested percentiles of xs, sorting the sample
+// once instead of per call. Each result matches Percentile(xs, p) exactly
+// (same nearest-rank method), so callers evaluating many points of one
+// distribution — the CDF tables, the p95 summaries — can switch without
+// changing any reported number.
+func Percentiles(xs []float64, ps ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	for _, p := range ps {
+		if p < 0 || p > 100 {
+			return nil, fmt.Errorf("stats: percentile %v out of [0,100]", p)
+		}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p == 0 {
+			out[i] = sorted[0]
+			continue
+		}
+		rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out, nil
+}
+
 // CDFPoint is one point of an empirical CDF.
 type CDFPoint struct {
 	Value    float64

@@ -3,6 +3,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -98,5 +99,46 @@ func TestInt64sAndWeightedSum(t *testing.T) {
 	}
 	if got := WeightedSum(xs, []float64{2, 2}); got != 2+4+3 {
 		t.Errorf("WeightedSum = %v, want 9", got)
+	}
+}
+
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ps := []float64{0, 10, 25, 50, 75, 90, 95, 99, 100}
+	for _, n := range []int{1, 2, 3, 7, 100, 1001} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 1e4
+		}
+		batch, err := Percentiles(xs, ps...)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i, p := range ps {
+			want, err := Percentile(xs, p)
+			if err != nil {
+				t.Fatalf("Percentile(n=%d, p=%v): %v", n, p, err)
+			}
+			if batch[i] != want {
+				t.Errorf("n=%d p=%v: Percentiles=%v Percentile=%v", n, p, batch[i], want)
+			}
+		}
+	}
+}
+
+func TestPercentilesErrors(t *testing.T) {
+	if _, err := Percentiles(nil, 50); err != ErrEmpty {
+		t.Errorf("empty input: err = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentiles([]float64{1}, 50, 101); err == nil {
+		t.Error("out-of-range percentile accepted")
+	}
+	// The input slice must not be reordered.
+	xs := []float64{3, 1, 2}
+	if _, err := Percentiles(xs, 50, 95); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
 	}
 }
