@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json verify results examples fmt vet check clean
+.PHONY: all build test test-short race cover bench bench-short bench-json verify results examples fmt vet check clean
 
 all: build test
 
@@ -30,6 +30,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: a cheap smoke test that the bench
+# harnesses still compile and run (used by CI; not for timing).
+bench-short:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 # Timing records for the perf trajectory (name, ns/op, allocs/op, workers).
 bench-json:

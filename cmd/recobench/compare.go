@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// benchDiff is the per-metric comparison of one experiment across two
+// BENCH_*.json files.
+type benchDiff struct {
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	NsPct     float64 // percent change in ns/op, negative = faster
+	OldAllocs int64
+	NewAllocs int64
+	AllocPct  float64 // percent change in allocs/op
+	Only      string  // "old" or "new" when the metric exists on one side
+}
+
+// diffBench joins two benchmark record sets by name, sorted, computing the
+// per-metric deltas. Records present on only one side are kept and flagged.
+func diffBench(oldRecs, newRecs []benchRecord) []benchDiff {
+	oldBy := make(map[string]benchRecord, len(oldRecs))
+	for _, r := range oldRecs {
+		oldBy[r.Name] = r
+	}
+	newBy := make(map[string]benchRecord, len(newRecs))
+	for _, r := range newRecs {
+		newBy[r.Name] = r
+	}
+	names := make([]string, 0, len(oldBy)+len(newBy))
+	for n := range oldBy {
+		names = append(names, n)
+	}
+	for n := range newBy {
+		if _, ok := oldBy[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	diffs := make([]benchDiff, 0, len(names))
+	for _, name := range names {
+		o, hasOld := oldBy[name]
+		n, hasNew := newBy[name]
+		d := benchDiff{Name: name}
+		switch {
+		case !hasOld:
+			d.Only = "new"
+			d.NewNs = n.NsPerOp
+			d.NewAllocs = n.AllocsPerOp
+		case !hasNew:
+			d.Only = "old"
+			d.OldNs = o.NsPerOp
+			d.OldAllocs = o.AllocsPerOp
+		default:
+			d.OldNs, d.NewNs = o.NsPerOp, n.NsPerOp
+			d.OldAllocs, d.NewAllocs = o.AllocsPerOp, n.AllocsPerOp
+			d.NsPct = pctChange(o.NsPerOp, n.NsPerOp)
+			d.AllocPct = pctChange(float64(o.AllocsPerOp), float64(n.AllocsPerOp))
+		}
+		diffs = append(diffs, d)
+	}
+	return diffs
+}
+
+func pctChange(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (new - old) / old * 100
+}
+
+// regressed returns the names of metrics whose ns/op worsened by more than
+// threshold percent.
+func regressed(diffs []benchDiff, threshold float64) []string {
+	var names []string
+	for _, d := range diffs {
+		if d.Only == "" && d.NsPct > threshold {
+			names = append(names, d.Name)
+		}
+	}
+	return names
+}
+
+// runCompare implements `recobench -compare old.json new.json`: it prints a
+// per-metric delta table and exits non-zero when any metric's ns/op
+// regressed by more than threshold percent, which lets CI hold a change to
+// the committed BENCH_experiments.json baseline.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	oldRecs, err := loadBench(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recobench: %v\n", err)
+		return 2
+	}
+	newRecs, err := loadBench(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recobench: %v\n", err)
+		return 2
+	}
+	diffs := diffBench(oldRecs, newRecs)
+	fmt.Printf("%-28s %14s %14s %9s %12s %12s %9s\n",
+		"experiment", "old ns/op", "new ns/op", "Δns%", "old allocs", "new allocs", "Δalloc%")
+	for _, d := range diffs {
+		switch d.Only {
+		case "old":
+			fmt.Printf("%-28s %14.0f %14s %9s %12d %12s %9s\n",
+				d.Name, d.OldNs, "-", "removed", d.OldAllocs, "-", "-")
+		case "new":
+			fmt.Printf("%-28s %14s %14.0f %9s %12s %12d %9s\n",
+				d.Name, "-", d.NewNs, "added", "-", d.NewAllocs, "-")
+		default:
+			fmt.Printf("%-28s %14.0f %14.0f %+8.1f%% %12d %12d %+8.1f%%\n",
+				d.Name, d.OldNs, d.NewNs, d.NsPct, d.OldAllocs, d.NewAllocs, d.AllocPct)
+		}
+	}
+	if bad := regressed(diffs, threshold); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "recobench: %d metric(s) regressed beyond %.1f%%: %v\n", len(bad), threshold, bad)
+		return 1
+	}
+	return 0
+}
+
+func loadBench(path string) ([]benchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []benchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}

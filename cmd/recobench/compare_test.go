@@ -1,0 +1,91 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDiffBench(t *testing.T) {
+	oldRecs := []benchRecord{
+		{Name: "fig4a", NsPerOp: 1000, AllocsPerOp: 200},
+		{Name: "fig6", NsPerOp: 500, AllocsPerOp: 100},
+		{Name: "gone", NsPerOp: 42, AllocsPerOp: 7},
+	}
+	newRecs := []benchRecord{
+		{Name: "fig4a", NsPerOp: 500, AllocsPerOp: 20},
+		{Name: "fig6", NsPerOp: 600, AllocsPerOp: 100},
+		{Name: "fresh", NsPerOp: 9, AllocsPerOp: 1},
+	}
+	diffs := diffBench(oldRecs, newRecs)
+	byName := make(map[string]benchDiff, len(diffs))
+	order := make([]string, 0, len(diffs))
+	for _, d := range diffs {
+		byName[d.Name] = d
+		order = append(order, d.Name)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Errorf("diffs not sorted by name: %v", order)
+		}
+	}
+	if d := byName["fig4a"]; d.NsPct != -50 || d.AllocPct != -90 || d.Only != "" {
+		t.Errorf("fig4a diff = %+v, want -50%% ns, -90%% allocs", d)
+	}
+	if d := byName["fig6"]; math.Abs(d.NsPct-20) > 1e-9 || d.AllocPct != 0 {
+		t.Errorf("fig6 diff = %+v, want +20%% ns, 0%% allocs", d)
+	}
+	if d := byName["gone"]; d.Only != "old" {
+		t.Errorf("gone diff = %+v, want Only=old", d)
+	}
+	if d := byName["fresh"]; d.Only != "new" {
+		t.Errorf("fresh diff = %+v, want Only=new", d)
+	}
+
+	if bad := regressed(diffs, 10); len(bad) != 1 || bad[0] != "fig6" {
+		t.Errorf("regressed(10%%) = %v, want [fig6]", bad)
+	}
+	if bad := regressed(diffs, 25); len(bad) != 0 {
+		t.Errorf("regressed(25%%) = %v, want none", bad)
+	}
+}
+
+func TestPctChange(t *testing.T) {
+	if got := pctChange(0, 0); got != 0 {
+		t.Errorf("pctChange(0,0) = %v, want 0", got)
+	}
+	if got := pctChange(0, 5); !math.IsInf(got, 1) {
+		t.Errorf("pctChange(0,5) = %v, want +Inf", got)
+	}
+	if got := pctChange(200, 100); got != -50 {
+		t.Errorf("pctChange(200,100) = %v, want -50", got)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeJSON := func(path, body string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeJSON(oldPath, `[{"name":"fig4a","ns_per_op":1000,"allocs_per_op":10,"workers":1}]`)
+	writeJSON(newPath, `[{"name":"fig4a","ns_per_op":1200,"allocs_per_op":10,"workers":1}]`)
+	if code := runCompare(oldPath, newPath, 10); code != 1 {
+		t.Errorf("20%% regression at 10%% threshold: exit %d, want 1", code)
+	}
+	if code := runCompare(oldPath, newPath, 50); code != 0 {
+		t.Errorf("20%% regression at 50%% threshold: exit %d, want 0", code)
+	}
+	if code := runCompare(filepath.Join(dir, "missing.json"), newPath, 10); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	writeJSON(oldPath, `not json`)
+	if code := runCompare(oldPath, newPath, 10); code != 2 {
+		t.Errorf("bad json: exit %d, want 2", code)
+	}
+}

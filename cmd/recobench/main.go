@@ -7,6 +7,7 @@
 //	recobench -exp all              # everything, in presentation order
 //	recobench -exp fig6 -csv        # machine-readable output
 //	recobench -list                 # available experiment ids
+//	recobench -compare old.json new.json   # diff two -bench outputs
 //
 // Scale knobs (-n, -coflows, -muln, -mulcoflows, -batches, -delta, -c,
 // -seed) map directly onto experiments.Config; see DESIGN.md §4 for the
@@ -54,8 +55,18 @@ func run() int {
 		outDir     = flag.String("outdir", "", "also write each experiment's CSV to <outdir>/<id>.csv")
 		verify     = flag.Bool("verify", false, "verify the paper's qualitative shapes and exit")
 		bench      = flag.Bool("bench", false, "emit JSON timing records (name, ns/op, allocs/op, workers) instead of tables")
+		compare    = flag.Bool("compare", false, "compare two -bench JSON files given as positional args; exit 1 on regression")
+		regress    = flag.Float64("regress", 10, "ns/op regression threshold in percent for -compare")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "recobench: -compare needs exactly two files: recobench -compare old.json new.json")
+			return 2
+		}
+		return runCompare(flag.Arg(0), flag.Arg(1), *regress)
+	}
 
 	registry := experiments.Registry()
 	if *verify {

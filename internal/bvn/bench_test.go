@@ -8,40 +8,53 @@ import (
 	"reco/internal/matrix"
 )
 
-// BenchmarkBvN decomposes stuffed random demand matrices with both
-// extraction strategies across the experiment-scale fabric sizes.
-func BenchmarkBvN(b *testing.B) {
-	for _, s := range []struct {
-		name     string
-		strategy Strategy
-	}{{"maxmin", MaxMin}, {"firstfit", FirstFit}} {
-		for _, n := range []int{16, 32, 64} {
-			b.Run(fmt.Sprintf("%s/n=%d", s.name, n), func(b *testing.B) {
-				rng := rand.New(rand.NewSource(int64(n)))
-				m, err := matrix.New(n)
-				if err != nil {
-					b.Fatal(err)
-				}
-				for i := 0; i < n; i++ {
-					for j := 0; j < n; j++ {
-						if rng.Float64() < 0.3 {
-							m.Set(i, j, 1+rng.Int63n(500))
-						}
-					}
-				}
-				stuffed := matrix.Stuff(m)
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					terms, err := Decompose(stuffed, s.strategy)
-					if err != nil {
-						b.Fatal(err)
-					}
-					if len(terms) == 0 {
-						b.Fatal("empty decomposition")
-					}
-				}
-			})
+// benchStuffed builds an n×n sparse stuffed matrix (~8 positive entries per
+// row, values 1..1000), the workload shape the schedulers decompose.
+func benchStuffed(rng *rand.Rand, n int) *matrix.Matrix {
+	m, err := matrix.New(n)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		for e := 0; e < 8; e++ {
+			m.Set(i, rng.Intn(n), 1+rng.Int63n(1000))
 		}
+	}
+	return matrix.StuffPreferNonZero(m)
+}
+
+// BenchmarkDecomposeMaxMin measures a full max–min BvN decomposition per op
+// at the fabric sizes the perf trajectory tracks (docs/PERF.md).
+func BenchmarkDecomposeMaxMin(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := benchStuffed(rand.New(rand.NewSource(int64(n))), n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				terms, err := Decompose(m, MaxMin)
+				if err != nil || len(terms) == 0 {
+					b.Fatalf("terms=%d err=%v", len(terms), err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecomposeFirstFit is the primitive-BvN counterpart, the hot path
+// of the TMS and LP-II-GB baselines.
+func BenchmarkDecomposeFirstFit(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := benchStuffed(rand.New(rand.NewSource(int64(n))), n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				terms, err := Decompose(m, FirstFit)
+				if err != nil || len(terms) == 0 {
+					b.Fatalf("terms=%d err=%v", len(terms), err)
+				}
+			}
+		})
 	}
 }

@@ -52,24 +52,35 @@ const (
 // Every step zeroes at least one support entry, so at most nnz(m) terms are
 // produced; for doubly stochastic matrices the classical bound
 // N²−2N+2 [Marcus–Ree] also applies.
+//
+// Both strategies run on a single matching.Engine over the sparse support:
+// the matrix is scanned once, each extraction reuses the engine's graph and
+// scratch, and subtracting a term repairs the support incrementally instead
+// of rescanning the N×N residual (docs/PERF.md).
 func Decompose(m *matrix.Matrix, s Strategy) ([]Term, error) {
 	if _, ok := m.DoublyStochasticValue(); !ok {
 		return nil, ErrNotDoublyStochastic
 	}
-	res := m.Clone()
+	var eng *matching.Engine
+	switch s {
+	case MaxMin:
+		eng = matching.NewEngine(m, matching.Descending)
+	case FirstFit:
+		eng = matching.NewEngine(m, matching.RowMajor)
+	default:
+		return nil, fmt.Errorf("bvn: unknown strategy %d", s)
+	}
 	var terms []Term
-	for !res.IsZero() {
+	for eng.Remaining() > 0 {
 		var (
 			perm []int
+			coef int64
 			err  error
 		)
-		switch s {
-		case MaxMin:
-			perm, _, err = matching.BottleneckPerfect(res)
-		case FirstFit:
-			perm, err = matching.PerfectAtLeast(res, 1)
-		default:
-			return nil, fmt.Errorf("bvn: unknown strategy %d", s)
+		if s == MaxMin {
+			perm, coef, err = eng.Extract()
+		} else {
+			perm, coef, err = eng.ExtractAny()
 		}
 		if err != nil {
 			// Cannot happen for a doubly stochastic residual (Birkhoff's
@@ -77,17 +88,12 @@ func Decompose(m *matrix.Matrix, s Strategy) ([]Term, error) {
 			// future strategy bug must not loop forever.
 			return nil, fmt.Errorf("bvn: extraction failed: %w", err)
 		}
-		coef := minAlong(res, perm)
-		for i, j := range perm {
-			res.Add(i, j, -coef)
-		}
 		terms = append(terms, Term{Perm: perm, Coef: coef})
 	}
-	if snk := obs.Current(); snk != nil {
-		snk.Inc("bvn_decompositions_total")
-		snk.Count("bvn_terms_total", int64(len(terms)))
-		snk.ObserveBuckets("bvn_terms_per_matrix", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, float64(len(terms)))
-	}
+	snk := obs.Current()
+	snk.Inc("bvn_decompositions_total")
+	snk.Count("bvn_terms_total", int64(len(terms)))
+	snk.ObserveBuckets("bvn_terms_per_matrix", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, float64(len(terms)))
 	return terms, nil
 }
 
@@ -110,15 +116,4 @@ func Recompose(terms []Term, n int) (*matrix.Matrix, error) {
 		}
 	}
 	return out, nil
-}
-
-func minAlong(m *matrix.Matrix, perm []int) int64 {
-	mn := int64(-1)
-	for i, j := range perm {
-		v := m.At(i, j)
-		if mn == -1 || v < mn {
-			mn = v
-		}
-	}
-	return mn
 }

@@ -175,6 +175,56 @@ func TestDecomposeProperty(t *testing.T) {
 	}
 }
 
+// TestDecomposeInvariants is the randomized property suite for both
+// strategies: the terms recompose exactly to the input, there are at most
+// nnz(m) of them (each extraction zeroes at least one support entry), every
+// coefficient is at least 1, and max–min coefficients are non-increasing
+// across extraction steps (each subtraction only shrinks entries and
+// support, so no later residual can hold a better bottleneck).
+func TestDecomposeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(12)
+		m, _ := matrix.New(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.15+rng.Float64()*0.7 {
+					m.Set(i, j, 1+rng.Int63n(1<<uint(1+rng.Intn(9))))
+				}
+			}
+		}
+		if m.IsZero() {
+			m.Set(rng.Intn(n), rng.Intn(n), 1+rng.Int63n(100))
+		}
+		ds := matrix.StuffPreferNonZero(m)
+		for _, s := range []Strategy{MaxMin, FirstFit} {
+			terms, err := Decompose(ds, s)
+			if err != nil {
+				t.Fatalf("trial %d strategy %d: %v", trial, s, err)
+			}
+			back, err := Recompose(terms, n)
+			if err != nil {
+				t.Fatalf("trial %d strategy %d: Recompose: %v", trial, s, err)
+			}
+			if !back.Equal(ds) {
+				t.Fatalf("trial %d strategy %d: Recompose(Decompose(m)) != m", trial, s)
+			}
+			if nnz := ds.NonZeros(); len(terms) > nnz {
+				t.Fatalf("trial %d strategy %d: %d terms exceeds nnz %d", trial, s, len(terms), nnz)
+			}
+			for ti, tm := range terms {
+				if tm.Coef < 1 {
+					t.Fatalf("trial %d strategy %d: term %d coefficient %d < 1", trial, s, ti, tm.Coef)
+				}
+				if s == MaxMin && ti > 0 && tm.Coef > terms[ti-1].Coef {
+					t.Fatalf("trial %d: max–min coefficient grew %d -> %d at term %d",
+						trial, terms[ti-1].Coef, tm.Coef, ti)
+				}
+			}
+		}
+	}
+}
+
 func TestRecomposeValidation(t *testing.T) {
 	if _, err := Recompose([]Term{{Perm: []int{0}, Coef: 1}}, 2); err == nil {
 		t.Error("dimension mismatch accepted")

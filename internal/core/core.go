@@ -7,9 +7,10 @@
 package core
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"reco/internal/bvn"
 	"reco/internal/matrix"
@@ -232,17 +233,17 @@ type pseudoFlow struct {
 }
 
 func sortPseudo(fs []pseudoFlow) {
-	sort.Slice(fs, func(a, b int) bool {
-		if fs[a].start != fs[b].start {
-			return fs[a].start < fs[b].start
+	slices.SortFunc(fs, func(a, b pseudoFlow) int {
+		if a.start != b.start {
+			return cmp.Compare(a.start, b.start)
 		}
-		if fs[a].orig.Start != fs[b].orig.Start {
-			return fs[a].orig.Start < fs[b].orig.Start
+		if a.orig.Start != b.orig.Start {
+			return cmp.Compare(a.orig.Start, b.orig.Start)
 		}
-		if fs[a].orig.In != fs[b].orig.In {
-			return fs[a].orig.In < fs[b].orig.In
+		if a.orig.In != b.orig.In {
+			return a.orig.In - b.orig.In
 		}
-		return fs[a].orig.Out < fs[b].orig.Out
+		return a.orig.Out - b.orig.Out
 	})
 }
 

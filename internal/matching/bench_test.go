@@ -66,3 +66,37 @@ func BenchmarkHopcroftKarp(b *testing.B) {
 		})
 	}
 }
+
+// stuffedSparse builds an n×n demand matrix with roughly perRow positive
+// entries per row (values 1..1000) stuffed doubly stochastic while keeping
+// the support sparse — the shape BvN extraction sees in practice.
+func stuffedSparse(rng *rand.Rand, n, perRow int) *matrix.Matrix {
+	m, err := matrix.New(n)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		for e := 0; e < perRow; e++ {
+			m.Set(i, rng.Intn(n), 1+rng.Int63n(1000))
+		}
+	}
+	return matrix.StuffPreferNonZero(m)
+}
+
+// BenchmarkBottleneckPerfect measures one max–min perfect matching per op at
+// the fabric sizes the perf trajectory tracks (docs/PERF.md).
+func BenchmarkBottleneckPerfect(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := stuffedSparse(rand.New(rand.NewSource(int64(n))), n, 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				perm, val, err := BottleneckPerfect(m)
+				if err != nil || val < 1 || len(perm) != n {
+					b.Fatalf("perm=%d val=%d err=%v", len(perm), val, err)
+				}
+			}
+		})
+	}
+}

@@ -3,7 +3,7 @@ package matching
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"sync"
 
 	"reco/internal/matrix"
 	"reco/internal/obs"
@@ -13,23 +13,25 @@ import (
 // exist in the given support graph.
 var ErrNoPerfectMatching = errors.New("matching: no perfect matching")
 
+// graphPool and enginePool recycle the scratch-heavy structures behind the
+// package-level convenience entry points, so even callers that cannot hold a
+// Graph or Engine of their own run allocation-light in steady state.
+var graphPool = sync.Pool{New: func() any { return NewGraph(1) }}
+var enginePool = sync.Pool{New: func() any { return new(Engine) }}
+
 // PerfectAtLeast finds a perfect matching on the support graph of m that uses
 // only entries with value ≥ threshold. It returns the matching as perm
 // (perm[i] = matched column of row i) or ErrNoPerfectMatching. Solstice's
-// slicing step and the bottleneck search both reduce to this primitive.
+// slicing step and thresholded probes reduce to this primitive; callers with
+// a loop of probes should hold their own Graph and use LoadThreshold plus
+// MaxMatching directly to reuse its storage.
 func PerfectAtLeast(m *matrix.Matrix, threshold int64) ([]int, error) {
-	n := m.N()
-	g := NewGraph(n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if v := m.At(i, j); v > 0 && v >= threshold {
-				g.AddEdge(i, j)
-			}
-		}
-	}
+	g := graphPool.Get().(*Graph)
+	defer graphPool.Put(g)
+	g.LoadThreshold(m, threshold)
 	perm, size := g.MaxMatching()
-	if size != n {
-		return nil, fmt.Errorf("%w: threshold %d matched only %d of %d", ErrNoPerfectMatching, threshold, size, n)
+	if size != m.N() {
+		return nil, fmt.Errorf("%w: threshold %d matched only %d of %d", ErrNoPerfectMatching, threshold, size, m.N())
 	}
 	return perm, nil
 }
@@ -37,56 +39,16 @@ func PerfectAtLeast(m *matrix.Matrix, threshold int64) ([]int, error) {
 // BottleneckPerfect finds the perfect matching of m's positive support whose
 // minimum entry is maximized — the "max–min matching" the paper uses to
 // extract Birkhoff–von Neumann terms efficiently (Sec. III-C, following
-// Solstice [7]). It returns the matching and its bottleneck value.
+// Solstice [7]). It returns the matching and its bottleneck value, computed
+// by the Engine's single threshold-descending pass over the sorted support.
 //
 // The input must admit a perfect matching on its positive support (any
 // doubly stochastic matrix does, by Birkhoff's theorem); otherwise
 // ErrNoPerfectMatching is returned.
 func BottleneckPerfect(m *matrix.Matrix) ([]int, int64, error) {
 	obs.Current().Inc("matching_bottleneck_total")
-	n := m.N()
-	values := make([]int64, 0, n*n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if v := m.At(i, j); v > 0 {
-				values = append(values, v)
-			}
-		}
-	}
-	if len(values) == 0 {
-		return nil, 0, fmt.Errorf("%w: empty support", ErrNoPerfectMatching)
-	}
-	sort.Slice(values, func(a, b int) bool { return values[a] < values[b] })
-	values = dedupSorted(values)
-
-	// Feasibility of "perfect matching with all entries ≥ t" is monotone
-	// non-increasing in t, so binary search the largest feasible threshold.
-	lo, hi := 0, len(values)-1
-	var best []int
-	var bestVal int64 = -1
-	for lo <= hi {
-		mid := (lo + hi) / 2
-		perm, err := PerfectAtLeast(m, values[mid])
-		if err != nil {
-			hi = mid - 1
-			continue
-		}
-		best = perm
-		bestVal = values[mid]
-		lo = mid + 1
-	}
-	if best == nil {
-		return nil, 0, fmt.Errorf("%w: support has no perfect matching", ErrNoPerfectMatching)
-	}
-	return best, bestVal, nil
-}
-
-func dedupSorted(vs []int64) []int64 {
-	out := vs[:1]
-	for _, v := range vs[1:] {
-		if v != out[len(out)-1] {
-			out = append(out, v)
-		}
-	}
-	return out
+	e := enginePool.Get().(*Engine)
+	defer enginePool.Put(e)
+	e.Reset(m, Descending)
+	return e.Bottleneck()
 }

@@ -1,0 +1,349 @@
+package matching
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"reco/internal/matrix"
+)
+
+// Order selects how an Engine keeps its support index sorted.
+type Order int
+
+const (
+	// Descending keeps support entries in non-increasing value order, the
+	// order the threshold-descending bottleneck search inserts edges in.
+	Descending Order = iota
+	// RowMajor keeps support entries in row-major position order, which
+	// makes ExtractAny reproduce the classic scan-the-residual first-fit
+	// extraction exactly.
+	RowMajor
+)
+
+// entry is one positive support cell of the demand matrix.
+type entry struct {
+	u, v int32
+	w    int64
+}
+
+// Engine is an incremental sparse matching engine over the positive support
+// of a square demand matrix. It is the hot core of every Birkhoff–von
+// Neumann decomposition in this repository: instead of rescanning and
+// re-sorting the full N×N matrix and re-running Hopcroft–Karp from scratch
+// for each extracted term, the Engine scans and sorts the support once and
+// then repairs it incrementally — subtracting a term only touches the N
+// matched entries, and only entries that hit zero leave the support.
+//
+// Bottleneck values are found by a single threshold-descending pass: edges
+// are inserted in non-increasing value order and the matching grows by
+// augmentation only, so the max–min threshold of an E-edge support costs one
+// O(E·√V) sweep rather than O(log E) full matching runs. The permutation is
+// then recomputed canonically at that threshold so it matches what the
+// classic implementation returned (see solveBottleneck). Across Extract
+// calls the engine warm-starts: surviving entries keep their sorted order (a
+// term subtracts the same coefficient from every matched entry), and
+// previously matched pairs are greedily re-adopted as their edges reappear.
+//
+// An Engine is not safe for concurrent use. Reset makes it reusable with no
+// steady-state allocation; the permutations it returns are caller-owned.
+type Engine struct {
+	n         int
+	order     Order
+	entries   []entry
+	spare     []entry // merge buffer, swapped with entries on repair
+	touched   []entry // the ≤N entries a subtraction modified
+	remaining int64   // total value left in the support
+	g         Graph
+	prev      []int32 // matching of the previous Extract, -1 = none
+	leftDeg   []int32 // per-vertex degree at the current insertion frontier
+	rightDeg  []int32
+}
+
+// NewEngine returns an Engine over m's positive support with the given
+// entry order. The matrix is read once and never retained or modified.
+func NewEngine(m *matrix.Matrix, order Order) *Engine {
+	e := &Engine{}
+	e.Reset(m, order)
+	return e
+}
+
+// Reset re-targets the engine at m's positive support, reusing all backing
+// storage from previous use.
+func (e *Engine) Reset(m *matrix.Matrix, order Order) {
+	n := m.N()
+	e.n = n
+	e.order = order
+	e.entries = e.entries[:0]
+	e.remaining = 0
+	e.prev = grow32(e.prev, n)
+	e.leftDeg = grow32(e.leftDeg, n)
+	e.rightDeg = grow32(e.rightDeg, n)
+	for i := 0; i < n; i++ {
+		e.prev[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := m.At(i, j); v > 0 {
+				e.entries = append(e.entries, entry{u: int32(i), v: int32(j), w: v})
+				e.remaining += v
+			}
+		}
+	}
+	if order == Descending {
+		sortEntriesDesc(e.entries)
+	}
+	e.g.Reset(n)
+}
+
+// N returns the fabric dimension.
+func (e *Engine) N() int { return e.n }
+
+// Remaining returns the total value left in the support; zero means the
+// matrix has been fully extracted.
+func (e *Engine) Remaining() int64 { return e.remaining }
+
+// Support returns the number of positive entries left.
+func (e *Engine) Support() int { return len(e.entries) }
+
+// Bottleneck computes the max–min perfect matching of the current support:
+// the perfect matching whose minimum entry value is maximized, and that
+// value. The engine must be in Descending order. The support is not
+// modified; the returned permutation is caller-owned.
+func (e *Engine) Bottleneck() ([]int, int64, error) {
+	val, err := e.solveBottleneck()
+	if err != nil {
+		return nil, 0, err
+	}
+	return e.permCopy(), val, nil
+}
+
+// Extract computes the max–min perfect matching of the current support,
+// subtracts its bottleneck value from the matched entries (removing entries
+// that hit zero), and returns the matching and the subtracted coefficient —
+// one Birkhoff–von Neumann term. The minimum matched entry always equals the
+// bottleneck value, so the subtraction zeroes at least one entry and the
+// support strictly shrinks; Extract until Remaining() hits zero is a
+// complete max–min decomposition.
+func (e *Engine) Extract() ([]int, int64, error) {
+	val, err := e.solveBottleneck()
+	if err != nil {
+		return nil, 0, err
+	}
+	perm := e.permCopy()
+	copy(e.prev, e.g.matchL)
+	e.subtractDesc(val)
+	return perm, val, nil
+}
+
+// ExtractAny computes an arbitrary perfect matching of the current support,
+// subtracts its minimum matched value, and returns the matching and the
+// subtracted coefficient — one primitive (first-fit) Birkhoff–von Neumann
+// term. In RowMajor order it reproduces exactly the matching a fresh
+// Hopcroft–Karp run over the residual's row-major support graph would find.
+func (e *Engine) ExtractAny() ([]int, int64, error) {
+	if len(e.entries) < e.n {
+		return nil, 0, fmt.Errorf("%w: support has %d entries for %d rows", ErrNoPerfectMatching, len(e.entries), e.n)
+	}
+	g := &e.g
+	g.Reset(e.n)
+	for _, en := range e.entries {
+		g.addEdge32(en.u, en.v)
+	}
+	if g.augment() != e.n {
+		return nil, 0, fmt.Errorf("%w: support has no perfect matching", ErrNoPerfectMatching)
+	}
+	coef := int64(-1)
+	for _, en := range e.entries {
+		if g.matchL[en.u] == en.v && (coef == -1 || en.w < coef) {
+			coef = en.w
+		}
+	}
+	perm := e.permCopy()
+	e.subtractInPlace(coef)
+	return perm, coef, nil
+}
+
+// solveBottleneck computes the bottleneck value with the threshold-descending
+// search, then recomputes the matching canonically at that threshold: a fresh
+// Hopcroft–Karp run over the ≥-threshold support in row-major order. The
+// canonical pass makes the returned permutation depend only on the residual
+// support — not on the search path that discovered the threshold — so
+// extraction sequences are bit-identical to the classic
+// binary-search-over-thresholds implementation this engine replaced, and the
+// committed experiment tables stay stable.
+func (e *Engine) solveBottleneck() (int64, error) {
+	val, err := e.searchBottleneck()
+	if err != nil {
+		return 0, err
+	}
+	e.rematchAt(val)
+	return val, nil
+}
+
+// rematchAt rebuilds the matching from empty over the entries with value at
+// least val, inserted in row-major order. The descending entry list makes
+// that support a prefix, located by binary search; the prefix is bucketed
+// straight into the per-row adjacency lists and each row is sorted by column,
+// which is exactly the row-major insertion order LoadThreshold produces.
+func (e *Engine) rematchAt(val int64) {
+	end := sort.Search(len(e.entries), func(i int) bool { return e.entries[i].w < val })
+	g := &e.g
+	g.Reset(e.n)
+	for _, en := range e.entries[:end] {
+		g.adj[en.u] = append(g.adj[en.u], en.v)
+	}
+	for u := range g.adj {
+		slices.Sort(g.adj[u])
+	}
+	if g.augment() != e.n {
+		panic("matching: canonical rematch lost the perfect matching")
+	}
+}
+
+// searchBottleneck runs the threshold-descending pass, leaving some max–min
+// perfect matching in e.g.matchL and returning its bottleneck value.
+//
+// Edges are inserted batch-by-batch in non-increasing value order. Two sound
+// gates keep the pass near-linear: no matching work happens before every
+// left and right vertex has at least one inserted edge (a perfect matching
+// is impossible earlier), and after a failed augmentation a new search runs
+// only once a new edge touches a left vertex the last failed BFS could reach
+// by an alternating path (an augmenting path must cross a new edge, and its
+// prefix before that edge lies in the old graph). Edges whose endpoints are
+// both free are adopted into the matching directly — which warm-starts
+// repeated extractions, since a prior term's surviving pairs re-arrive early
+// in the descending order.
+func (e *Engine) searchBottleneck() (int64, error) {
+	if e.order != Descending {
+		panic("matching: bottleneck extraction requires a Descending engine")
+	}
+	n := e.n
+	if len(e.entries) < n {
+		return 0, fmt.Errorf("%w: support has %d entries for %d rows", ErrNoPerfectMatching, len(e.entries), n)
+	}
+	g := &e.g
+	g.Reset(n)
+	for i := 0; i < n; i++ {
+		e.leftDeg[i] = 0
+		e.rightDeg[i] = 0
+	}
+	uncovered := 2 * n
+	distValid := false
+
+	i := 0
+	for i < len(e.entries) {
+		w := e.entries[i].w
+		searchWorthwhile := false
+		for ; i < len(e.entries) && e.entries[i].w == w; i++ {
+			en := e.entries[i]
+			g.addEdge32(en.u, en.v)
+			if e.leftDeg[en.u] == 0 {
+				uncovered--
+			}
+			if e.rightDeg[en.v] == 0 {
+				uncovered--
+			}
+			e.leftDeg[en.u]++
+			e.rightDeg[en.v]++
+			if g.matchL[en.u] == -1 && g.matchR[en.v] == -1 {
+				g.adopt(en.u, en.v)
+				distValid = false
+			} else if distValid && g.dist[en.u] != infDist {
+				searchWorthwhile = true
+			}
+		}
+		if uncovered > 0 {
+			continue
+		}
+		if g.matched == n {
+			return w, nil
+		}
+		if !distValid || searchWorthwhile {
+			if g.augment() == n {
+				return w, nil
+			}
+			// augment left the labels of its final failed BFS in g.dist.
+			distValid = true
+		}
+	}
+	return 0, fmt.Errorf("%w: support has no perfect matching", ErrNoPerfectMatching)
+}
+
+// permCopy returns the current matching as a caller-owned permutation.
+func (e *Engine) permCopy() []int {
+	out := make([]int, e.n)
+	for u, v := range e.g.matchL[:e.n] {
+		out[u] = int(v)
+	}
+	return out
+}
+
+// subtractDesc subtracts coef from every entry matched by e.prev, drops
+// entries that hit zero, and repairs the descending order. All matched
+// entries decrease by the same amount, so they keep their relative order;
+// the repair is a filter plus a two-list merge — O(E), no re-sort.
+func (e *Engine) subtractDesc(coef int64) {
+	touched := e.touched[:0]
+	kept := e.entries[:0]
+	for _, en := range e.entries {
+		if e.prev[en.u] == en.v {
+			en.w -= coef
+			if en.w > 0 {
+				touched = append(touched, en)
+			}
+		} else {
+			kept = append(kept, en)
+		}
+	}
+	e.touched = touched
+	// Merge the two descending runs into the spare buffer, then swap the
+	// buffers: the kept run's backing array becomes the next spare.
+	merged := e.spare[:0]
+	ti := 0
+	for _, en := range kept {
+		for ti < len(touched) && touched[ti].w >= en.w {
+			merged = append(merged, touched[ti])
+			ti++
+		}
+		merged = append(merged, en)
+	}
+	merged = append(merged, touched[ti:]...)
+	e.spare = e.entries[:0]
+	e.entries = merged
+	e.remaining -= coef * int64(e.n)
+}
+
+// subtractInPlace subtracts coef from every entry matched by the current
+// matching and drops zeroed entries, preserving entry order.
+func (e *Engine) subtractInPlace(coef int64) {
+	kept := e.entries[:0]
+	for _, en := range e.entries {
+		if e.g.matchL[en.u] == en.v {
+			en.w -= coef
+			if en.w == 0 {
+				continue
+			}
+		}
+		kept = append(kept, en)
+	}
+	e.entries = kept
+	e.remaining -= coef * int64(e.n)
+}
+
+// sortEntriesDesc sorts entries by value, largest first, breaking ties in
+// row-major position order so runs are deterministic.
+func sortEntriesDesc(es []entry) {
+	slices.SortFunc(es, func(a, b entry) int {
+		switch {
+		case a.w > b.w:
+			return -1
+		case a.w < b.w:
+			return 1
+		case a.u != b.u:
+			return int(a.u) - int(b.u)
+		default:
+			return int(a.v) - int(b.v)
+		}
+	})
+}

@@ -1,0 +1,411 @@
+package matching
+
+import (
+	"errors"
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+
+	"reco/internal/matrix"
+)
+
+// --- Reference implementations -------------------------------------------
+//
+// These are the pre-engine algorithms, kept verbatim as test oracles: the
+// recursive Hopcroft–Karp of the original Graph.MaxMatching and the
+// binary-search bottleneck of the original BottleneckPerfect. The engine
+// must agree with them — exactly, where the contract is "same matching",
+// and on the bottleneck value, where many optimal matchings exist.
+
+func refMaxMatching(n int, adj [][]int) (matchL []int, size int) {
+	matchL = make([]int, n)
+	matchR := make([]int, n)
+	for i := range matchL {
+		matchL[i] = -1
+		matchR[i] = -1
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < n; u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range adj[u] {
+				w := matchR[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range adj[u] {
+			w := matchR[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < n; u++ {
+			if matchL[u] == -1 && dfs(u) {
+				size++
+			}
+		}
+	}
+	return matchL, size
+}
+
+func refSupportAdj(m *matrix.Matrix, threshold int64) [][]int {
+	n := m.N()
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := m.At(i, j); v > 0 && v >= threshold {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	return adj
+}
+
+func refPerfectAtLeast(m *matrix.Matrix, threshold int64) ([]int, bool) {
+	perm, size := refMaxMatching(m.N(), refSupportAdj(m, threshold))
+	return perm, size == m.N()
+}
+
+func refBottleneckPerfect(m *matrix.Matrix) ([]int, int64, bool) {
+	n := m.N()
+	values := make([]int64, 0, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := m.At(i, j); v > 0 {
+				values = append(values, v)
+			}
+		}
+	}
+	if len(values) == 0 {
+		return nil, 0, false
+	}
+	sort.Slice(values, func(a, b int) bool { return values[a] < values[b] })
+	dedup := values[:1]
+	for _, v := range values[1:] {
+		if v != dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	lo, hi := 0, len(dedup)-1
+	var best []int
+	var bestVal int64 = -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		perm, ok := refPerfectAtLeast(m, dedup[mid])
+		if !ok {
+			hi = mid - 1
+			continue
+		}
+		best = perm
+		bestVal = dedup[mid]
+		lo = mid + 1
+	}
+	return best, bestVal, best != nil
+}
+
+// randomStuffed returns a seeded random sparse matrix stuffed doubly
+// stochastic, the input shape BvN extraction sees.
+func randomStuffed(rng *rand.Rand, n int, density float64, maxVal int64) *matrix.Matrix {
+	m, _ := matrix.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				m.Set(i, j, 1+rng.Int63n(maxVal))
+			}
+		}
+	}
+	if m.IsZero() {
+		m.Set(0, 0, 1)
+	}
+	return matrix.StuffPreferNonZero(m)
+}
+
+// --- Differential tests ---------------------------------------------------
+
+// TestGraphMatchesRecursiveReference pins the iterative DFS to the original
+// recursion: on random graphs both must return the identical matching, not
+// merely one of equal size — FirstFit decompositions and Solstice schedules
+// depend on the exact permutations staying the same.
+func TestGraphMatchesRecursiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(12)
+		adj := make([][]int, n)
+		g := NewGraph(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if rng.Float64() < 0.35 {
+					adj[u] = append(adj[u], v)
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		wantPerm, wantSize := refMaxMatching(n, adj)
+		gotPerm, gotSize := g.MaxMatching()
+		if gotSize != wantSize {
+			t.Fatalf("trial %d: size %d, reference %d", trial, gotSize, wantSize)
+		}
+		for u := range wantPerm {
+			if gotPerm[u] != wantPerm[u] {
+				t.Fatalf("trial %d: matchL[%d] = %d, reference %d", trial, u, gotPerm[u], wantPerm[u])
+			}
+		}
+	}
+}
+
+// TestBottleneckPerfectDifferential proves the threshold-descending engine
+// equivalent to the binary-search implementation it replaced, on well over
+// 100 seeded random stuffed matrices: the bottleneck value AND the returned
+// permutation are identical (the canonical rematch pins tie-breaking to the
+// old behaviour, keeping committed experiment tables stable), and the
+// matching is independently checked to be perfect and achieve the value.
+func TestBottleneckPerfectDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trials := 0
+	for _, n := range []int{2, 3, 4, 6, 8, 12, 16, 24, 32} {
+		for rep := 0; rep < 16; rep++ {
+			trials++
+			density := 0.1 + rng.Float64()*0.8
+			maxVal := int64(1) << uint(1+rng.Intn(10))
+			m := randomStuffed(rng, n, density, maxVal)
+			wantPerm, wantVal, ok := refBottleneckPerfect(m)
+			if !ok {
+				t.Fatalf("n=%d rep=%d: reference found no perfect matching on a stuffed matrix", n, rep)
+			}
+			perm, val, err := BottleneckPerfect(m)
+			if err != nil {
+				t.Fatalf("n=%d rep=%d: BottleneckPerfect: %v", n, rep, err)
+			}
+			if val != wantVal {
+				t.Fatalf("n=%d rep=%d: bottleneck %d, reference %d", n, rep, val, wantVal)
+			}
+			if !slices.Equal(perm, wantPerm) {
+				t.Fatalf("n=%d rep=%d: perm %v, reference %v", n, rep, perm, wantPerm)
+			}
+			checkPerfectAbove(t, m, perm, val)
+		}
+	}
+	if trials < 100 {
+		t.Fatalf("only %d differential trials, want >= 100", trials)
+	}
+}
+
+// checkPerfectAbove asserts perm is a perfect matching of m whose entries
+// are all >= val with minimum exactly val.
+func checkPerfectAbove(t *testing.T, m *matrix.Matrix, perm []int, val int64) {
+	t.Helper()
+	n := m.N()
+	if len(perm) != n {
+		t.Fatalf("perm length %d, want %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	min := int64(-1)
+	for i, j := range perm {
+		if j < 0 || j >= n || seen[j] {
+			t.Fatalf("perm is not a permutation: row %d -> %d", i, j)
+		}
+		seen[j] = true
+		v := m.At(i, j)
+		if v < val {
+			t.Fatalf("matched entry (%d,%d)=%d below bottleneck %d", i, j, v, val)
+		}
+		if min == -1 || v < min {
+			min = v
+		}
+	}
+	if min != val {
+		t.Fatalf("minimum matched entry %d, reported bottleneck %d", min, val)
+	}
+}
+
+// TestExtractAnyMatchesReference pins RowMajor ExtractAny to the old
+// first-fit path: repeatedly matching the residual's row-major support from
+// scratch. The whole extraction sequence must agree permutation for
+// permutation, because committed experiment results depend on it.
+func TestExtractAnyMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(10)
+		m := randomStuffed(rng, n, 0.5, 64)
+		eng := NewEngine(m, RowMajor)
+		res := m.Clone()
+		for step := 0; !res.IsZero(); step++ {
+			wantPerm, ok := refPerfectAtLeast(res, 1)
+			if !ok {
+				t.Fatalf("trial %d step %d: reference stuck", trial, step)
+			}
+			wantCoef := int64(-1)
+			for i, j := range wantPerm {
+				if v := res.At(i, j); wantCoef == -1 || v < wantCoef {
+					wantCoef = v
+				}
+			}
+			perm, coef, err := eng.ExtractAny()
+			if err != nil {
+				t.Fatalf("trial %d step %d: ExtractAny: %v", trial, step, err)
+			}
+			if coef != wantCoef {
+				t.Fatalf("trial %d step %d: coef %d, reference %d", trial, step, coef, wantCoef)
+			}
+			for u := range wantPerm {
+				if perm[u] != wantPerm[u] {
+					t.Fatalf("trial %d step %d: perm[%d] = %d, reference %d", trial, step, u, perm[u], wantPerm[u])
+				}
+			}
+			for i, j := range wantPerm {
+				res.Add(i, j, -wantCoef)
+			}
+		}
+		if eng.Remaining() != 0 || eng.Support() != 0 {
+			t.Fatalf("trial %d: engine reports remaining=%d support=%d after drain", trial, eng.Remaining(), eng.Support())
+		}
+	}
+}
+
+// TestEngineExtractDecomposes drives Extract to exhaustion and checks the
+// full decomposition contract: terms sum back to the input, coefficients
+// are positive and non-increasing, and each term's matched entries meet its
+// bottleneck.
+func TestEngineExtractDecomposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(12)
+		m := randomStuffed(rng, n, 0.4, 512)
+		eng := NewEngine(m, Descending)
+		sum, _ := matrix.New(n)
+		prevCoef := int64(-1)
+		steps := 0
+		for eng.Remaining() > 0 {
+			res := residual(m, sum)
+			_, wantVal, ok := refBottleneckPerfect(res)
+			if !ok {
+				t.Fatalf("trial %d step %d: reference found no matching", trial, steps)
+			}
+			perm, coef, err := eng.Extract()
+			if err != nil {
+				t.Fatalf("trial %d step %d: Extract: %v", trial, steps, err)
+			}
+			if coef != wantVal {
+				t.Fatalf("trial %d step %d: coef %d, reference bottleneck %d", trial, steps, coef, wantVal)
+			}
+			checkPerfectAbove(t, res, perm, coef)
+			if prevCoef != -1 && coef > prevCoef {
+				t.Fatalf("trial %d step %d: coefficient %d grew past previous %d", trial, steps, coef, prevCoef)
+			}
+			prevCoef = coef
+			for i, j := range perm {
+				sum.Add(i, j, coef)
+			}
+			steps++
+			if steps > n*n {
+				t.Fatalf("trial %d: extraction did not terminate", trial)
+			}
+		}
+		if !sum.Equal(m) {
+			t.Fatalf("trial %d: terms do not sum back to the input", trial)
+		}
+	}
+}
+
+func residual(m, sub *matrix.Matrix) *matrix.Matrix {
+	res := m.Clone()
+	n := m.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			res.Add(i, j, -sub.At(i, j))
+		}
+	}
+	return res
+}
+
+// TestEngineReset checks that a recycled engine carries no state across
+// Reset: extracting from one matrix and resetting onto another must behave
+// exactly like a fresh engine.
+func TestEngineReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	eng := new(Engine)
+	for trial := 0; trial < 40; trial++ {
+		m := randomStuffed(rng, 2+rng.Intn(8), 0.5, 128)
+		eng.Reset(m, Descending)
+		got, gotVal, err := eng.Bottleneck()
+		if err != nil {
+			t.Fatalf("trial %d: Bottleneck: %v", trial, err)
+		}
+		fresh := NewEngine(m, Descending)
+		want, wantVal, err := fresh.Bottleneck()
+		if err != nil {
+			t.Fatalf("trial %d: fresh Bottleneck: %v", trial, err)
+		}
+		if gotVal != wantVal {
+			t.Fatalf("trial %d: recycled value %d, fresh %d", trial, gotVal, wantVal)
+		}
+		for u := range want {
+			if got[u] != want[u] {
+				t.Fatalf("trial %d: recycled perm[%d]=%d, fresh %d", trial, u, got[u], want[u])
+			}
+		}
+		// Burn some extractions so the next Reset starts from a dirty state.
+		if eng.Remaining() > 0 {
+			if _, _, err := eng.Extract(); err != nil {
+				t.Fatalf("trial %d: Extract: %v", trial, err)
+			}
+		}
+	}
+}
+
+// TestEngineNoPerfectMatching covers the failure paths: deficient support
+// and empty support.
+func TestEngineNoPerfectMatching(t *testing.T) {
+	m := mustMatrix(t, [][]int64{
+		{1, 1, 0},
+		{1, 1, 0},
+		{1, 1, 0},
+	})
+	for _, order := range []Order{Descending, RowMajor} {
+		eng := NewEngine(m, order)
+		var err error
+		if order == Descending {
+			_, _, err = eng.Bottleneck()
+		} else {
+			_, _, err = eng.ExtractAny()
+		}
+		if !errors.Is(err, ErrNoPerfectMatching) {
+			t.Errorf("order %d: err = %v, want ErrNoPerfectMatching", order, err)
+		}
+	}
+	z, _ := matrix.New(3)
+	if _, _, err := NewEngine(z, Descending).Bottleneck(); !errors.Is(err, ErrNoPerfectMatching) {
+		t.Errorf("empty support err = %v, want ErrNoPerfectMatching", err)
+	}
+}

@@ -9,18 +9,78 @@
 // constraint.
 package matching
 
-import "reco/internal/obs"
+import (
+	"reco/internal/matrix"
+	"reco/internal/obs"
+)
 
 // Graph is a balanced bipartite graph on n left and n right vertices,
 // represented by adjacency lists of the left side.
+//
+// A Graph is reusable: Reset clears the edge set and the current matching
+// while keeping every backing array, so a Graph that has reached its
+// steady-state capacity performs no allocations across Reset/AddEdge/
+// augmentation cycles. The matching state persists across AddEdge calls,
+// which is what the incremental engines build on: inserting edges never
+// shrinks a matching, so augmentation alone repairs maximality.
 type Graph struct {
 	n   int
-	adj [][]int
+	adj [][]int32
+
+	// Matching state and pooled scratch. matchL/matchR hold the current
+	// matching (-1 = unmatched); dist, queue, iter and stack are the
+	// Hopcroft–Karp BFS/DFS workspaces, reused across phases.
+	matchL  []int32
+	matchR  []int32
+	dist    []int32
+	queue   []int32
+	iter    []int32
+	stack   []int32
+	matched int
 }
 
 // NewGraph returns an empty bipartite graph with n vertices on each side.
 func NewGraph(n int) *Graph {
-	return &Graph{n: n, adj: make([][]int, n)}
+	g := &Graph{}
+	g.Reset(n)
+	return g
+}
+
+// Reset clears g to an empty edge set and empty matching on n vertices per
+// side, reusing all backing storage.
+func (g *Graph) Reset(n int) {
+	if cap(g.adj) >= n {
+		g.adj = g.adj[:n]
+	} else {
+		g.adj = append(g.adj[:cap(g.adj)], make([][]int32, n-cap(g.adj))...)
+	}
+	for u := range g.adj {
+		g.adj[u] = g.adj[u][:0]
+	}
+	g.matchL = grow32(g.matchL, n)
+	g.matchR = grow32(g.matchR, n)
+	g.dist = grow32(g.dist, n)
+	g.iter = grow32(g.iter, n)
+	if g.queue == nil {
+		g.queue = make([]int32, 0, n)
+	}
+	if g.stack == nil {
+		g.stack = make([]int32, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		g.matchL[i] = -1
+		g.matchR[i] = -1
+	}
+	g.n = n
+	g.matched = 0
+}
+
+// grow32 returns a slice of length n reusing s's backing array when possible.
+func grow32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
 }
 
 // AddEdge adds an edge between left vertex u and right vertex v.
@@ -29,72 +89,143 @@ func (g *Graph) AddEdge(u, v int) {
 	if v < 0 || v >= g.n {
 		panic("matching: right vertex out of range")
 	}
+	g.adj[u] = append(g.adj[u], int32(v))
+}
+
+// addEdge32 is AddEdge for callers that already hold validated int32 indices.
+func (g *Graph) addEdge32(u, v int32) {
 	g.adj[u] = append(g.adj[u], v)
 }
 
+// adopt records (u, v) as a matched pair. Both endpoints must be free; the
+// incremental engines use it to seed the matching greedily as edges arrive,
+// saving augmentation searches.
+func (g *Graph) adopt(u, v int32) {
+	g.matchL[u] = v
+	g.matchR[v] = u
+	g.matched++
+}
+
+// LoadThreshold resets g to m's dimension and adds every entry of m with
+// positive value at least threshold, in row-major order. It is the support
+// graph every thresholded matching in this repository operates on.
+func (g *Graph) LoadThreshold(m *matrix.Matrix, threshold int64) {
+	n := m.N()
+	g.Reset(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := m.At(i, j); v > 0 && v >= threshold {
+				g.adj[i] = append(g.adj[i], int32(j))
+			}
+		}
+	}
+}
+
 // infDist marks unreached vertices during the Hopcroft–Karp BFS phase.
-const infDist = int(^uint(0) >> 1)
+const infDist = int32(^uint32(0) >> 1)
 
 // MaxMatching computes a maximum-cardinality matching with the Hopcroft–Karp
 // algorithm in O(E·√V). It returns matchL, where matchL[u] is the right
-// vertex matched to left vertex u or −1, and the matching size.
+// vertex matched to left vertex u or −1, and the matching size. The returned
+// slice is caller-owned. Augmentation starts from the graph's current
+// matching state (empty after Reset), so repeated calls are idempotent and
+// calls interleaved with AddEdge are incremental.
 func (g *Graph) MaxMatching() (matchL []int, size int) {
 	obs.Current().Inc("matching_hopcroftkarp_total")
-	matchL = make([]int, g.n)
-	matchR := make([]int, g.n)
-	for i := range matchL {
-		matchL[i] = -1
-		matchR[i] = -1
+	g.augment()
+	out := make([]int, g.n)
+	for u, v := range g.matchL {
+		out[u] = int(v)
 	}
-	dist := make([]int, g.n)
-	queue := make([]int, 0, g.n)
+	return out, g.matched
+}
 
-	bfs := func() bool {
-		queue = queue[:0]
-		for u := 0; u < g.n; u++ {
-			if matchL[u] == -1 {
-				dist[u] = 0
-				queue = append(queue, u)
-			} else {
-				dist[u] = infDist
+// augment grows the current matching to maximum cardinality by running
+// Hopcroft–Karp phases until no augmenting path remains (or the matching is
+// perfect), and returns the matching size. After a return with matched < n,
+// dist holds the alternating-path reachability labels of the final failed
+// BFS, which the incremental bottleneck engine uses to gate future searches.
+func (g *Graph) augment() int {
+	for g.matched < g.n && g.bfs() {
+		for u := int32(0); u < int32(g.n); u++ {
+			if g.matchL[u] == -1 && g.dfs(u) {
+				g.matched++
 			}
 		}
-		found := false
-		for head := 0; head < len(queue); head++ {
-			u := queue[head]
-			for _, v := range g.adj[u] {
-				w := matchR[v]
-				if w == -1 {
-					found = true
-				} else if dist[w] == infDist {
-					dist[w] = dist[u] + 1
-					queue = append(queue, w)
-				}
-			}
-		}
-		return found
 	}
+	return g.matched
+}
 
-	var dfs func(u int) bool
-	dfs = func(u int) bool {
+// bfs layers the graph by shortest alternating-path distance from the free
+// left vertices and reports whether any augmenting path exists.
+func (g *Graph) bfs() bool {
+	q := g.queue[:0]
+	for u := int32(0); u < int32(g.n); u++ {
+		if g.matchL[u] == -1 {
+			g.dist[u] = 0
+			q = append(q, u)
+		} else {
+			g.dist[u] = infDist
+		}
+	}
+	found := false
+	for head := 0; head < len(q); head++ {
+		u := q[head]
 		for _, v := range g.adj[u] {
-			w := matchR[v]
-			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
-				matchL[u] = v
-				matchR[v] = u
+			w := g.matchR[v]
+			if w == -1 {
+				found = true
+			} else if g.dist[w] == infDist {
+				g.dist[w] = g.dist[u] + 1
+				q = append(q, w)
+			}
+		}
+	}
+	g.queue = q[:0]
+	return found
+}
+
+// dfs searches for an augmenting path from free left vertex root along the
+// BFS layering and applies it. It is an explicit-stack transcription of the
+// textbook recursion (each visit scans the vertex's adjacency from the
+// start, and a vertex that fails is closed with dist = inf), so it visits
+// edges in exactly the same order — and yields exactly the same matching —
+// while keeping the steady state free of recursion and allocation.
+func (g *Graph) dfs(root int32) bool {
+	st := append(g.stack[:0], root)
+	g.iter[root] = 0
+	for len(st) > 0 {
+		u := st[len(st)-1]
+		pushed := false
+		for g.iter[u] < int32(len(g.adj[u])) {
+			v := g.adj[u][g.iter[u]]
+			g.iter[u]++
+			w := g.matchR[v]
+			if w == -1 {
+				// Free right vertex: the stack is an augmenting path. The
+				// edge chosen at depth k is the one its iterator last
+				// advanced past.
+				for k := len(st) - 1; k >= 0; k-- {
+					x := st[k]
+					vx := g.adj[x][g.iter[x]-1]
+					g.matchL[x] = vx
+					g.matchR[vx] = x
+				}
+				g.stack = st[:0]
 				return true
 			}
-		}
-		dist[u] = infDist
-		return false
-	}
-
-	for bfs() {
-		for u := 0; u < g.n; u++ {
-			if matchL[u] == -1 && dfs(u) {
-				size++
+			if g.dist[w] == g.dist[u]+1 {
+				st = append(st, w)
+				g.iter[w] = 0
+				pushed = true
+				break
 			}
 		}
+		if !pushed {
+			g.dist[u] = infDist
+			st = st[:len(st)-1]
+		}
 	}
-	return matchL, size
+	g.stack = st[:0]
+	return false
 }

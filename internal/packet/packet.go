@@ -5,8 +5,9 @@
 package packet
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"reco/internal/matrix"
 	"reco/internal/schedule"
@@ -60,14 +61,14 @@ func ListSchedule(ds []*matrix.Matrix, order []int) (schedule.FlowSchedule, erro
 				}
 			}
 		}
-		sort.Slice(flows, func(a, b int) bool {
-			if flows[a].d != flows[b].d {
-				return flows[a].d > flows[b].d
+		slices.SortFunc(flows, func(a, b flowItem) int {
+			if a.d != b.d {
+				return cmp.Compare(b.d, a.d)
 			}
-			if flows[a].i != flows[b].i {
-				return flows[a].i < flows[b].i
+			if a.i != b.i {
+				return a.i - b.i
 			}
-			return flows[a].j < flows[b].j
+			return a.j - b.j
 		})
 		for _, f := range waveOrder(flows, n) {
 			start := freeIn[f.i]

@@ -7,9 +7,10 @@
 package schedule
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"reco/internal/matrix"
 )
@@ -90,7 +91,7 @@ func (s FlowSchedule) checkPortOverlap(n int, ingress bool) error {
 		side = "ingress"
 	}
 	for p, fs := range byPort {
-		sort.Slice(fs, func(a, b int) bool { return fs[a].Start < fs[b].Start })
+		slices.SortFunc(fs, func(a, b FlowInterval) int { return cmp.Compare(a.Start, b.Start) })
 		for i := 1; i < len(fs); i++ {
 			if fs[i].Start < fs[i-1].End {
 				return fmt.Errorf("%w: %s port %d busy with coflow %d until %d but coflow %d starts at %d",

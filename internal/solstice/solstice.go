@@ -37,31 +37,38 @@ func Schedule(d *matrix.Matrix) (ocs.CircuitSchedule, error) {
 		return cs, nil
 	}
 	res := matrix.StuffPreferNonZero(d)
+	n := res.N()
 
 	r := int64(1)
 	for r*2 <= res.MaxEntry() {
 		r *= 2
 	}
 
+	// One reusable graph serves every slicing probe: each probe reloads the
+	// thresholded support into the same backing arrays and re-runs matching,
+	// so the loop allocates only the emitted assignments in steady state.
+	// Tracking the residual total makes termination O(1) per slice instead
+	// of an N² rescan.
+	g := matching.NewGraph(n)
+	left := res.Total()
 	var cs ocs.CircuitSchedule
-	for !res.IsZero() {
-		perm, err := matching.PerfectAtLeast(res, r)
-		if errors.Is(err, matching.ErrNoPerfectMatching) {
+	for left > 0 {
+		g.LoadThreshold(res, r)
+		perm, size := g.MaxMatching()
+		if size != n {
 			if r == 1 {
 				return nil, fmt.Errorf("%w: no perfect matching at r=1", ErrStuck)
 			}
 			r /= 2
 			continue
 		}
-		if err != nil {
-			return nil, fmt.Errorf("solstice: slicing: %w", err)
-		}
 		for i, j := range perm {
 			res.Add(i, j, -r)
+			if res.At(i, j) < 0 {
+				return nil, fmt.Errorf("%w: negative residual after slice", ErrStuck)
+			}
 		}
-		if res.HasNegative() {
-			return nil, fmt.Errorf("%w: negative residual after slice", ErrStuck)
-		}
+		left -= r * int64(n)
 		cs = append(cs, ocs.Assignment{Perm: perm, Dur: r})
 	}
 	return cs, nil
