@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-short bench-json verify results examples fmt vet check clean
+.PHONY: all build test test-short race cover bench bench-short bench-json verify results examples fmt fmt-check vet check clean
 
 all: build test
 
@@ -58,6 +58,11 @@ examples:
 
 fmt:
 	gofmt -w .
+
+# Fail (listing the offenders) if any tracked Go file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

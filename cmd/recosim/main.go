@@ -2,18 +2,32 @@
 // reports per-coflow completion times and switch metrics.
 //
 // The workload comes from a coflow-benchmark trace file (-trace) or from the
-// built-in synthetic generator (-n, -coflows, -seed). Algorithms:
+// built-in synthetic generator (-n, -coflows, -seed). Algorithms come from
+// the internal/algo registry; `recosim -alg list` prints them with their
+// capabilities:
 //
-//	reco-sin        Reco-Sin per coflow, coflows served back-to-back
-//	reco-mul        the full Reco-Mul pipeline (default)
-//	solstice        Solstice per coflow, back-to-back
-//	sebf-solstice   SEBF order + Solstice per coflow
-//	lp-ii-gb        LP-estimate order + first-fit BvN per coflow
-//	lp-ii-gb-group  grouped LP-II-GB (aggregated per-interval schedules)
+//	eclipse          Eclipse-style greedy throughput-per-cost circuit schedule per coflow
+//	helios           Helios/c-Through slotted max-weight matching (slot = 4*delta) per coflow
+//	hybrid           hybrid switch: elephants (>= c*delta) via Reco-Sin on the OCS, mice via a 10x-slower packet network
+//	lp-ii-gb         LP-II-GB baseline: interval-indexed LP estimate order, first-fit BvN per coflow
+//	lp-ii-gb-group   grouped LP-II-GB: coflows sharing an LP interval merged into one aggregate BvN schedule
+//	online-batch     online controller, batch admission: all pending coflows through Reco-Mul
+//	online-disjoint  online controller, disjoint-batch admission: port-disjoint coflows co-scheduled via Reco-Mul
+//	online-fifo      online controller, FIFO admission: pending coflows one at a time via Reco-Sin
+//	online-sebf      online controller, SEBF admission: smallest bottleneck first via Reco-Sin
+//	reco-mul         full Reco-Mul pipeline: primal-dual order, packet list schedule, Algorithm 2 transformation
+//	reco-sin         Reco-Sin (Algorithm 1) per coflow: regularize, stuff, max-min BvN; coflows back-to-back
+//	sebf-solstice    smallest-effective-bottleneck-first coflow order, Solstice schedule per coflow
+//	solstice         Solstice per coflow: stuff + max-min BvN without regularization; coflows back-to-back
+//	sunflow          Sunflow: one circuit per flow, longest-first, not-all-stop model; coflows back-to-back
+//	tms-bvn          Traffic Matrix Scheduling: stuff + first-fit BvN per coflow; coflows back-to-back
 //
 // Example:
 //
 //	recosim -alg reco-mul -n 40 -coflows 20 -delta 100 -c 4 -percoflow
+//
+// Scheduling honors Ctrl-C: cancelling the run aborts in-flight LP solves
+// and BvN decompositions.
 //
 // With -faults, each coflow's Reco-Sin schedule instead runs through the
 // fault-injecting simulator (port failures, circuit-setup failures, δ
@@ -24,23 +38,26 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"strings"
+	"syscall"
 
+	"reco/internal/algo"
+	_ "reco/internal/algo/builtin"
 	"reco/internal/core"
 	"reco/internal/faults"
 	"reco/internal/gantt"
-	"reco/internal/lpiigb"
 	"reco/internal/matrix"
 	"reco/internal/obs"
 	"reco/internal/ocs"
-	"reco/internal/ordering"
 	"reco/internal/parallel"
 	"reco/internal/schedule"
 	"reco/internal/sim"
-	"reco/internal/solstice"
 	"reco/internal/stats"
 	"reco/internal/workload"
 )
@@ -51,7 +68,7 @@ func main() {
 
 func run() int {
 	var (
-		alg        = flag.String("alg", "reco-mul", "algorithm: reco-sin, reco-mul, solstice, sebf-solstice, lp-ii-gb, lp-ii-gb-group")
+		alg        = flag.String("alg", algo.NameRecoMul, "algorithm from the registry, or 'list' to enumerate")
 		trace      = flag.String("trace", "", "coflow-benchmark trace file (empty: synthetic workload)")
 		n          = flag.Int("n", 40, "fabric ports for the synthetic workload")
 		numCf      = flag.Int("coflows", 20, "synthetic workload size")
@@ -73,6 +90,16 @@ func run() int {
 		faultSeed  = flag.Int64("faultseed", 1, "with -faults: fault-schedule seed")
 	)
 	flag.Parse()
+
+	if *alg == "list" {
+		fmt.Print(listAlgorithms())
+		return 0
+	}
+
+	// Ctrl-C / SIGTERM cancels the scheduling context: in-flight LP solves
+	// and BvN decompositions poll it and abort promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// With -tracefile, a full sink is attached for the whole run: pipeline
 	// stages land as wall-clock spans, simulator activity as tick events,
@@ -119,11 +146,17 @@ func run() int {
 		return 0
 	}
 
-	ccts, reconfigs, flows, err := schedul(*alg, ds, w, *delta, *c)
+	sched, err := algo.Get(*alg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
 		return 1
 	}
+	res, err := sched.Schedule(ctx, algo.Request{Demands: ds, Weights: w, Delta: *delta, C: *c})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
+		return 1
+	}
+	ccts, reconfigs, flows := res.CCTs, res.Reconfigs, res.Flows
 	if tracer != nil {
 		for _, f := range flows {
 			tracer.TickSpan(fmt.Sprintf("in %02d", f.In), fmt.Sprintf("cf%d→%d", f.Coflow, f.Out),
@@ -160,6 +193,10 @@ func run() int {
 		}
 	}
 	if *showGantt {
+		if !sched.Caps().FlowLevel {
+			fmt.Fprintf(os.Stderr, "recosim: gantt: algorithm %s reports no flow-level schedule\n", *alg)
+			return 1
+		}
 		chart, err := gantt.RenderFlows(flows, ds[0].N(), *ganttWidth)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "recosim: gantt: %v\n", err)
@@ -169,6 +206,36 @@ func run() int {
 		fmt.Print(gantt.Legend(flows))
 	}
 	return 0
+}
+
+// listAlgorithms renders the registry for `recosim -alg list`: one line per
+// algorithm with its name, capability tags and description, in the
+// registry's deterministic order.
+func listAlgorithms() string {
+	var b strings.Builder
+	for _, s := range algo.All() {
+		fmt.Fprintf(&b, "%-16s %-28s %s\n", s.Name(), capTags(s.Caps()), s.Describe())
+	}
+	return b.String()
+}
+
+// capTags renders capability flags compactly, e.g.
+// "[single multi flows]" or "[single not-all-stop]".
+func capTags(c algo.Capabilities) string {
+	var tags []string
+	if c.SingleCoflow {
+		tags = append(tags, "single")
+	}
+	if c.MultiCoflow {
+		tags = append(tags, "multi")
+	}
+	if c.NotAllStop {
+		tags = append(tags, "not-all-stop")
+	}
+	if c.FlowLevel {
+		tags = append(tags, "flows")
+	}
+	return "[" + strings.Join(tags, " ") + "]"
 }
 
 func loadWorkload(trace string, n, numCf int, seed, minDemand int64) ([]workload.Coflow, error) {
@@ -183,66 +250,6 @@ func loadWorkload(trace string, n, numCf int, seed, minDemand int64) ([]workload
 	}
 	defer f.Close()
 	return workload.ParseTrace(f, workload.DefaultTicksPerMB)
-}
-
-func schedul(alg string, ds []*matrix.Matrix, w []float64, delta, c int64) ([]int64, int, schedule.FlowSchedule, error) {
-	switch alg {
-	case "reco-mul":
-		res, err := core.ScheduleMul(ds, w, delta, c)
-		if err != nil {
-			return nil, 0, nil, err
-		}
-		return res.CCTs, res.Reconfigs, res.Flows, nil
-	case "reco-sin", "solstice":
-		schedules := make([]ocs.CircuitSchedule, len(ds))
-		for k, d := range ds {
-			var cs ocs.CircuitSchedule
-			var err error
-			if alg == "reco-sin" {
-				cs, err = core.RecoSin(d, delta)
-			} else {
-				cs, err = solstice.Schedule(d)
-			}
-			if err != nil {
-				return nil, 0, nil, fmt.Errorf("coflow %d: %w", k, err)
-			}
-			schedules[k] = cs
-		}
-		order := identity(len(ds))
-		seq, err := ocs.ExecSequential(ds, schedules, order, delta)
-		if err != nil {
-			return nil, 0, nil, err
-		}
-		return seq.CCTs, seq.Reconfigs, seq.Flows, nil
-	case "sebf-solstice":
-		schedules := make([]ocs.CircuitSchedule, len(ds))
-		for k, d := range ds {
-			cs, err := solstice.Schedule(d)
-			if err != nil {
-				return nil, 0, nil, fmt.Errorf("coflow %d: %w", k, err)
-			}
-			schedules[k] = cs
-		}
-		seq, err := ocs.ExecSequential(ds, schedules, ordering.SEBF(ds), delta)
-		if err != nil {
-			return nil, 0, nil, err
-		}
-		return seq.CCTs, seq.Reconfigs, seq.Flows, nil
-	case "lp-ii-gb":
-		res, err := lpiigb.ScheduleSequential(ds, w, delta)
-		if err != nil {
-			return nil, 0, nil, err
-		}
-		return res.CCTs, res.Reconfigs, res.Flows, nil
-	case "lp-ii-gb-group":
-		res, err := lpiigb.Schedule(ds, w, delta)
-		if err != nil {
-			return nil, 0, nil, err
-		}
-		return res.CCTs, res.Reconfigs, res.Flows, nil
-	default:
-		return nil, 0, nil, fmt.Errorf("unknown algorithm %q", alg)
-	}
 }
 
 type faultOpts struct {
@@ -293,11 +300,16 @@ func runFaulted(ds []*matrix.Matrix, o faultOpts) error {
 		if err != nil {
 			return fmt.Errorf("coflow %d: %w", k, err)
 		}
-		replay, err := sim.RunFaults(d, sim.NewReplayLoop(cs), o.delta, fs)
+		replayCtl := sim.NewReplayLoop(cs)
+		recoverCtl := sim.NewPredictiveRecover(d, cs, o.delta, fs)
+		if k == 0 {
+			fmt.Printf("controllers    %s vs %s\n", replayCtl.Name(), recoverCtl.Name())
+		}
+		replay, err := sim.RunFaults(d, replayCtl, o.delta, fs)
 		if err != nil {
 			return fmt.Errorf("coflow %d replay: %w", k, err)
 		}
-		rec, err := sim.RunFaults(d, sim.NewPredictiveRecover(d, cs, o.delta, fs), o.delta, fs)
+		rec, err := sim.RunFaults(d, recoverCtl, o.delta, fs)
 		if err != nil {
 			return fmt.Errorf("coflow %d recover: %w", k, err)
 		}
@@ -337,12 +349,4 @@ func writeTrace(path string, tr *obs.Tracer) error {
 	}
 	fmt.Printf("trace          %s (%d events)\n", path, tr.Len())
 	return nil
-}
-
-func identity(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"reco/internal/algo"
+)
+
+// docCommentAlgorithms extracts the algorithm names listed in main.go's doc
+// comment: the first field of every indented comment line between the
+// "capabilities:" marker and the "Example:" marker.
+func docCommentAlgorithms(t *testing.T) []string {
+	t.Helper()
+	f, err := os.Open("main.go")
+	if err != nil {
+		t.Fatalf("open main.go: %v", err)
+	}
+	defer f.Close()
+	var names []string
+	in := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if strings.Contains(line, "capabilities:") {
+			in = true
+			continue
+		}
+		if strings.Contains(line, "Example:") {
+			break
+		}
+		if in && strings.HasPrefix(line, "//\t") {
+			fields := strings.Fields(strings.TrimPrefix(line, "//\t"))
+			if len(fields) > 0 {
+				names = append(names, fields[0])
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan main.go: %v", err)
+	}
+	return names
+}
+
+// TestUsageCommentMatchesRegistry keeps the command's doc comment in sync
+// with the scheduler registry: same names, same order, nothing stale and
+// nothing missing.
+func TestUsageCommentMatchesRegistry(t *testing.T) {
+	doc := docCommentAlgorithms(t)
+	reg := algo.Names()
+	if len(doc) == 0 {
+		t.Fatal("no algorithm lines found in the doc comment")
+	}
+	if fmt.Sprint(doc) != fmt.Sprint(reg) {
+		t.Fatalf("doc comment algorithms %v\nregistry %v\nupdate the usage comment atop main.go", doc, reg)
+	}
+}
+
+// TestReadmeListsRegistry: every registered algorithm appears backticked in
+// the repository README's algorithm list.
+func TestReadmeListsRegistry(t *testing.T) {
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	var missing []string
+	for _, name := range algo.Names() {
+		if !strings.Contains(string(readme), "`"+name+"`") {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Fatalf("README.md does not mention registered algorithms %v (backticked)", missing)
+	}
+}
+
+// TestListAlgorithmsOutput: `-alg list` prints one line per registered
+// scheduler, leading with its name.
+func TestListAlgorithmsOutput(t *testing.T) {
+	out := listAlgorithms()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	reg := algo.Names()
+	if len(lines) != len(reg) {
+		t.Fatalf("list has %d lines for %d registered algorithms:\n%s", len(lines), len(reg), out)
+	}
+	for i, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) == 0 || fields[0] != reg[i] {
+			t.Errorf("line %d = %q, want it to lead with %q", i, line, reg[i])
+		}
+		if !strings.Contains(line, "[") {
+			t.Errorf("line %d missing capability tags: %q", i, line)
+		}
+	}
+}

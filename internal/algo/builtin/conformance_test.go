@@ -1,0 +1,158 @@
+package builtin
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"reco/internal/algo"
+	"reco/internal/matrix"
+	"reco/internal/ocs"
+	"reco/internal/workload"
+)
+
+const (
+	confDelta int64 = 10
+	confC     int64 = 4
+)
+
+// conformanceRequest draws a small seeded workload: 4 coflows on a 12-port
+// fabric with the elephant floor c·δ, the regime every registered scheduler
+// supports.
+func conformanceRequest(t *testing.T) algo.Request {
+	t.Helper()
+	coflows, err := workload.Generate(workload.GenConfig{
+		N: 12, NumCoflows: 4, Seed: 7,
+		MinDemand: confC * confDelta, MeanDemand: confC * confDelta,
+	})
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	ds := make([]*matrix.Matrix, len(coflows))
+	w := make([]float64, len(coflows))
+	for i, c := range coflows {
+		ds[i] = c.Demand
+		w[i] = 1
+	}
+	return algo.Request{Demands: ds, Weights: w, Delta: confDelta, C: confC}
+}
+
+// TestConformance runs every registered scheduler through the same contract:
+// a valid result of the right shape, a port-feasible flow schedule serving
+// the full demand where the scheduler reports flow-level output, per-coflow
+// circuit schedules that replay to completion where it reports them, and
+// bit-identical results across two runs.
+func TestConformance(t *testing.T) {
+	req := conformanceRequest(t)
+	n := req.Demands[0].N()
+	k := len(req.Demands)
+	for _, s := range algo.All() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			res, err := s.Schedule(context.Background(), req)
+			if err != nil {
+				t.Fatalf("Schedule: %v", err)
+			}
+			if len(res.CCTs) != k {
+				t.Fatalf("got %d CCTs for %d coflows", len(res.CCTs), k)
+			}
+			for i, cct := range res.CCTs {
+				if cct <= 0 {
+					t.Errorf("coflow %d: non-positive CCT %d for non-empty demand", i, cct)
+				}
+			}
+			if res.Reconfigs < 0 {
+				t.Errorf("negative reconfiguration count %d", res.Reconfigs)
+			}
+
+			if s.Caps().FlowLevel {
+				if err := res.Flows.Validate(n, k); err != nil {
+					t.Errorf("flow schedule invalid: %v", err)
+				}
+				if err := res.Flows.CheckDemand(req.Demands); err != nil {
+					t.Errorf("flow schedule does not serve the demand: %v", err)
+				}
+				// Grouped LP-II-GB reports group completion: a coflow's CCT
+				// is its group's drain instant, at or after its own last
+				// flow. Everywhere else the two must agree exactly.
+				flowCCTs := res.Flows.CCTs(k)
+				for i := range res.CCTs {
+					if s.Name() == algo.NameLPIIGBGroup {
+						if res.CCTs[i] < flowCCTs[i] {
+							t.Errorf("coflow %d: reported CCT %d before last flow at %d",
+								i, res.CCTs[i], flowCCTs[i])
+						}
+						continue
+					}
+					if res.CCTs[i] != flowCCTs[i] {
+						t.Errorf("coflow %d: reported CCT %d != flow-level CCT %d",
+							i, res.CCTs[i], flowCCTs[i])
+					}
+				}
+			}
+
+			if res.Schedules != nil {
+				if len(res.Schedules) != k {
+					t.Fatalf("got %d circuit schedules for %d coflows", len(res.Schedules), k)
+				}
+				for i, cs := range res.Schedules {
+					if _, err := ocs.ExecAllStop(req.Demands[i], cs, req.Delta); err != nil {
+						t.Errorf("coflow %d: circuit schedule does not replay: %v", i, err)
+					}
+				}
+			}
+
+			again, err := s.Schedule(context.Background(), req)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if !reflect.DeepEqual(res, again) {
+				t.Errorf("two runs over the same request differ")
+			}
+		})
+	}
+}
+
+// TestSingleCoflowConformance: every scheduler accepts a one-coflow request.
+func TestSingleCoflowConformance(t *testing.T) {
+	full := conformanceRequest(t)
+	req := algo.Request{Demands: full.Demands[:1], Delta: confDelta, C: confC}
+	for _, s := range algo.All() {
+		res, err := s.Schedule(context.Background(), req)
+		if err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+			continue
+		}
+		if len(res.CCTs) != 1 || res.CCTs[0] <= 0 {
+			t.Errorf("%s: bad single-coflow CCTs %v", s.Name(), res.CCTs)
+		}
+	}
+}
+
+// TestBadRequestRejected: every scheduler validates its request up front.
+func TestBadRequestRejected(t *testing.T) {
+	for _, s := range algo.All() {
+		if _, err := s.Schedule(context.Background(), algo.Request{Delta: confDelta}); !errors.Is(err, algo.ErrBadRequest) {
+			t.Errorf("%s: empty request returned %v, want ErrBadRequest", s.Name(), err)
+		}
+		req := conformanceRequest(t)
+		req.Delta = -1
+		if _, err := s.Schedule(context.Background(), req); !errors.Is(err, algo.ErrBadRequest) {
+			t.Errorf("%s: negative delta returned %v, want ErrBadRequest", s.Name(), err)
+		}
+	}
+}
+
+// TestCancelledContext: a cancelled request context aborts every registered
+// scheduler with context.Canceled instead of running the work to completion.
+func TestCancelledContext(t *testing.T) {
+	req := conformanceRequest(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, s := range algo.All() {
+		if _, err := s.Schedule(ctx, req); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: cancelled ctx returned %v, want context.Canceled", s.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"reco/internal/algo"
+)
+
+func TestAlgorithmsEndpoint(t *testing.T) {
+	srv, client := newTestServer(t)
+	defer srv.Close()
+
+	resp, err := client.Algorithms(context.Background())
+	if err != nil {
+		t.Fatalf("Algorithms: %v", err)
+	}
+	var names []string
+	for _, a := range resp.Algorithms {
+		names = append(names, a.Name)
+		if a.Description == "" {
+			t.Errorf("%s: empty description", a.Name)
+		}
+	}
+	if !reflect.DeepEqual(names, algo.Names()) {
+		t.Fatalf("endpoint lists %v, registry has %v", names, algo.Names())
+	}
+	// Spot-check a capability: sunflow is the registry's not-all-stop entry.
+	for _, a := range resp.Algorithms {
+		if a.Name == algo.NameSunflow && !a.Capabilities.NotAllStop {
+			t.Errorf("sunflow should report the not-all-stop capability")
+		}
+	}
+}
+
+func TestAlgorithmsMethodNotAllowed(t *testing.T) {
+	srv, _ := newTestServer(t)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/algorithms", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/algorithms = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestScheduleSingleAlgorithmField: the historical default is reco-sin, an
+// explicit "reco-sin" is byte-identical to it, and other registered
+// algorithms are reachable through the same endpoint.
+func TestScheduleSingleAlgorithmField(t *testing.T) {
+	srv, client := newTestServer(t)
+	defer srv.Close()
+	demand := [][]int64{
+		{104, 109, 102},
+		{103, 105, 107},
+		{108, 101, 106},
+	}
+
+	def, err := client.ScheduleSingle(context.Background(), SingleRequest{Demand: demand, Delta: 100})
+	if err != nil {
+		t.Fatalf("default: %v", err)
+	}
+	if def.CCT != 618 || def.Reconfigs != 3 || def.LowerBound != 615 {
+		t.Fatalf("default = CCT %d, reconfigs %d, LB %d; want 618, 3, 615",
+			def.CCT, def.Reconfigs, def.LowerBound)
+	}
+
+	explicit, err := client.ScheduleSingle(context.Background(),
+		SingleRequest{Demand: demand, Delta: 100, Algorithm: algo.NameRecoSin})
+	if err != nil {
+		t.Fatalf("explicit reco-sin: %v", err)
+	}
+	if !reflect.DeepEqual(def, explicit) {
+		t.Fatalf("explicit reco-sin differs from the default:\n%+v\n%+v", explicit, def)
+	}
+
+	sol, err := client.ScheduleSingle(context.Background(),
+		SingleRequest{Demand: demand, Delta: 100, Algorithm: algo.NameSolstice})
+	if err != nil {
+		t.Fatalf("solstice: %v", err)
+	}
+	if sol.CCT <= 0 || len(sol.Schedule) == 0 {
+		t.Fatalf("solstice returned CCT %d with %d assignments", sol.CCT, len(sol.Schedule))
+	}
+}
+
+func TestScheduleSingleUnknownAlgorithm(t *testing.T) {
+	srv, _ := newTestServer(t)
+	defer srv.Close()
+	body, _ := json.Marshal(SingleRequest{
+		Demand: [][]int64{{0, 1}, {1, 0}}, Delta: 10, Algorithm: "definitely-not-real",
+	})
+	resp, err := http.Post(srv.URL+"/v1/schedule/single", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown algorithm status = %d, want 400", resp.StatusCode)
+	}
+	var apiErr errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	if apiErr.Error == "" {
+		t.Fatal("error body should enumerate valid algorithm names")
+	}
+}
+
+// TestScheduleMultiAlgorithmField: the multi endpoint defaults to reco-mul
+// and serves any registered scheduler by name.
+func TestScheduleMultiAlgorithmField(t *testing.T) {
+	srv, client := newTestServer(t)
+	defer srv.Close()
+	demands := [][][]int64{
+		{{0, 400, 0}, {0, 0, 400}, {400, 0, 0}},
+		{{0, 0, 400}, {400, 0, 0}, {0, 400, 0}},
+	}
+
+	def, err := client.ScheduleMulti(context.Background(),
+		MultiRequest{Demands: demands, Delta: 100, C: 4})
+	if err != nil {
+		t.Fatalf("default: %v", err)
+	}
+	explicit, err := client.ScheduleMulti(context.Background(),
+		MultiRequest{Demands: demands, Delta: 100, C: 4, Algorithm: algo.NameRecoMul})
+	if err != nil {
+		t.Fatalf("explicit reco-mul: %v", err)
+	}
+	if !reflect.DeepEqual(def, explicit) {
+		t.Fatalf("explicit reco-mul differs from the default")
+	}
+
+	lp, err := client.ScheduleMulti(context.Background(),
+		MultiRequest{Demands: demands, Delta: 100, C: 4, Algorithm: algo.NameLPIIGB})
+	if err != nil {
+		t.Fatalf("lp-ii-gb: %v", err)
+	}
+	if len(lp.CCTs) != len(demands) {
+		t.Fatalf("lp-ii-gb returned %d CCTs for %d coflows", len(lp.CCTs), len(demands))
+	}
+}

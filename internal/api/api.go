@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"net/http"
 
+	"reco/internal/algo"
+	_ "reco/internal/algo/builtin" // populate the scheduler registry
 	"reco/internal/core"
 	"reco/internal/matrix"
 	"reco/internal/ocs"
@@ -21,12 +23,23 @@ import (
 // well within this.
 const maxBodyBytes = 64 << 20
 
-// SingleRequest asks for a Reco-Sin schedule of one coflow.
+// defaultC is the transmission threshold supplied to schedulers invoked
+// through the single-coflow endpoint, whose request shape predates the
+// registry and carries no c field. Reco-Sin ignores it; it only shapes the
+// hybrid scheduler's elephant threshold (c·delta) and matches recosim's
+// default -c.
+const defaultC = 4
+
+// SingleRequest asks for a schedule of one coflow.
 type SingleRequest struct {
 	// Demand is the square demand matrix in ticks.
 	Demand [][]int64 `json:"demand"`
 	// Delta is the reconfiguration delay in ticks.
 	Delta int64 `json:"delta"`
+	// Algorithm names a registered scheduler (GET /v1/algorithms lists
+	// them); empty means Reco-Sin, the historical behavior of this
+	// endpoint.
+	Algorithm string `json:"algorithm,omitempty"`
 }
 
 // Assignment mirrors ocs.Assignment for the wire.
@@ -43,12 +56,16 @@ type SingleResponse struct {
 	LowerBound int64        `json:"lowerBound"`
 }
 
-// MultiRequest asks for a Reco-Mul schedule of a coflow batch.
+// MultiRequest asks for a schedule of a coflow batch.
 type MultiRequest struct {
 	Demands [][][]int64 `json:"demands"`
 	Weights []float64   `json:"weights,omitempty"`
 	Delta   int64       `json:"delta"`
 	C       int64       `json:"c"`
+	// Algorithm names a registered scheduler (GET /v1/algorithms lists
+	// them); empty means Reco-Mul, the historical behavior of this
+	// endpoint. The scheduler must support multi-coflow batches.
+	Algorithm string `json:"algorithm,omitempty"`
 }
 
 // Flow mirrors schedule.FlowInterval for the wire.
@@ -81,6 +98,26 @@ type WorkloadResponse struct {
 	Demands [][][]int64 `json:"demands"`
 }
 
+// AlgorithmInfo describes one registered scheduler.
+type AlgorithmInfo struct {
+	Name         string       `json:"name"`
+	Description  string       `json:"description"`
+	Capabilities Capabilities `json:"capabilities"`
+}
+
+// Capabilities mirrors algo.Capabilities for the wire.
+type Capabilities struct {
+	SingleCoflow bool `json:"singleCoflow"`
+	MultiCoflow  bool `json:"multiCoflow"`
+	NotAllStop   bool `json:"notAllStop"`
+	FlowLevel    bool `json:"flowLevel"`
+}
+
+// AlgorithmsResponse lists the scheduler registry in deterministic order.
+type AlgorithmsResponse struct {
+	Algorithms []AlgorithmInfo `json:"algorithms"`
+}
+
 // errorResponse is the JSON error envelope.
 type errorResponse struct {
 	Error string `json:"error"`
@@ -89,12 +126,14 @@ type errorResponse struct {
 // NewHandler returns the API's HTTP handler:
 //
 //	GET  /v1/healthz
+//	GET  /v1/algorithms
 //	POST /v1/schedule/single
 //	POST /v1/schedule/multi
 //	POST /v1/workload/generate
 func NewHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", handleHealthz)
+	mux.HandleFunc("/v1/algorithms", handleAlgorithms)
 	mux.HandleFunc("/v1/schedule/single", handleSingle)
 	mux.HandleFunc("/v1/schedule/multi", handleMulti)
 	mux.HandleFunc("/v1/workload/generate", handleWorkload)
@@ -109,6 +148,28 @@ func handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+func handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	var resp AlgorithmsResponse
+	for _, s := range algo.All() {
+		c := s.Caps()
+		resp.Algorithms = append(resp.Algorithms, AlgorithmInfo{
+			Name:        s.Name(),
+			Description: s.Describe(),
+			Capabilities: Capabilities{
+				SingleCoflow: c.SingleCoflow,
+				MultiCoflow:  c.MultiCoflow,
+				NotAllStop:   c.NotAllStop,
+				FlowLevel:    c.FlowLevel,
+			},
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func handleSingle(w http.ResponseWriter, r *http.Request) {
 	var req SingleRequest
 	if !readJSON(w, r, &req) {
@@ -119,24 +180,35 @@ func handleSingle(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("demand: %v", err))
 		return
 	}
-	cs, err := core.RecoSin(d, req.Delta)
+	name := req.Algorithm
+	if name == "" {
+		name = algo.NameRecoSin
+	}
+	sched, err := algo.Get(name)
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
-	exec, err := ocs.ExecAllStop(d, cs, req.Delta)
+	res, err := sched.Schedule(r.Context(), algo.Request{
+		Demands: []*matrix.Matrix{d}, Delta: req.Delta, C: defaultC,
+	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, statusFor(err), err.Error())
 		return
 	}
 	resp := SingleResponse{
-		Schedule:   make([]Assignment, len(cs)),
-		CCT:        exec.CCT,
-		Reconfigs:  exec.Reconfigs,
+		Schedule:   []Assignment{},
+		CCT:        res.CCTs[0],
+		Reconfigs:  res.Reconfigs,
 		LowerBound: ocs.LowerBound(d, req.Delta),
 	}
-	for i, a := range cs {
-		resp.Schedule[i] = Assignment{Perm: a.Perm, Dur: a.Dur}
+	// Circuit-schedule algorithms expose their establishments; pipeline
+	// algorithms (reco-mul, lp-ii-gb, ...) report flow-level output only.
+	if len(res.Schedules) == 1 {
+		resp.Schedule = make([]Assignment, len(res.Schedules[0]))
+		for i, a := range res.Schedules[0] {
+			resp.Schedule[i] = Assignment{Perm: a.Perm, Dur: a.Dur}
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -159,7 +231,18 @@ func handleMulti(w http.ResponseWriter, r *http.Request) {
 		}
 		ds[k] = d
 	}
-	res, err := core.ScheduleMul(ds, req.Weights, req.Delta, req.C)
+	name := req.Algorithm
+	if name == "" {
+		name = algo.NameRecoMul
+	}
+	sched, err := algo.Get(name)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	res, err := sched.Schedule(r.Context(), algo.Request{
+		Demands: ds, Weights: req.Weights, Delta: req.Delta, C: req.C,
+	})
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return
@@ -222,7 +305,9 @@ func statusFor(err error) int {
 	if errors.Is(err, core.ErrBadParam) ||
 		errors.Is(err, matrix.ErrDimension) ||
 		errors.Is(err, matrix.ErrNegative) ||
-		errors.Is(err, workload.ErrBadConfig) {
+		errors.Is(err, workload.ErrBadConfig) ||
+		errors.Is(err, algo.ErrUnknown) ||
+		errors.Is(err, algo.ErrBadRequest) {
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError

@@ -96,7 +96,25 @@ func (c *Client) Healthz(ctx context.Context) error {
 	return nil
 }
 
-// ScheduleSingle requests a Reco-Sin schedule for one coflow.
+// Algorithms fetches the service's scheduler registry.
+func (c *Client) Algorithms(ctx context.Context) (*AlgorithmsResponse, error) {
+	resp, err := c.roundTrip(ctx, http.MethodGet, "/v1/algorithms", nil)
+	if err != nil {
+		return nil, fmt.Errorf("api: algorithms: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("api: algorithms status %d", resp.StatusCode)
+	}
+	var out AlgorithmsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("api: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// ScheduleSingle requests a schedule for one coflow (Reco-Sin unless the
+// request names another registered algorithm).
 func (c *Client) ScheduleSingle(ctx context.Context, req SingleRequest) (*SingleResponse, error) {
 	var resp SingleResponse
 	if err := c.post(ctx, "/v1/schedule/single", req, &resp); err != nil {

@@ -11,6 +11,7 @@
 package bvn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -58,6 +59,13 @@ const (
 // scratch, and subtracting a term repairs the support incrementally instead
 // of rescanning the N×N residual (docs/PERF.md).
 func Decompose(m *matrix.Matrix, s Strategy) ([]Term, error) {
+	return DecomposeCtx(context.Background(), m, s)
+}
+
+// DecomposeCtx is Decompose with cooperative cancellation: the extraction
+// loop checks ctx before every term and returns ctx.Err() once it is
+// cancelled, so callers can abort a long decomposition on timeout or Ctrl-C.
+func DecomposeCtx(ctx context.Context, m *matrix.Matrix, s Strategy) ([]Term, error) {
 	if _, ok := m.DoublyStochasticValue(); !ok {
 		return nil, ErrNotDoublyStochastic
 	}
@@ -72,6 +80,9 @@ func Decompose(m *matrix.Matrix, s Strategy) ([]Term, error) {
 	}
 	var terms []Term
 	for eng.Remaining() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var (
 			perm []int
 			coef int64

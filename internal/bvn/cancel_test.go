@@ -1,0 +1,39 @@
+package bvn
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"reco/internal/matrix"
+)
+
+// TestDecomposeCtxCancelled: a cancelled context aborts the extraction loop
+// before the next term and surfaces ctx.Err().
+func TestDecomposeCtxCancelled(t *testing.T) {
+	d, err := matrix.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			d.Set(i, j, int64(1+(i+j)%4))
+		}
+	}
+	stuffed := matrix.Stuff(d)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DecomposeCtx(ctx, stuffed, MaxMin); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DecomposeCtx(cancelled) = %v, want context.Canceled", err)
+	}
+
+	// The same matrix still decomposes under a live context.
+	terms, err := DecomposeCtx(context.Background(), stuffed, MaxMin)
+	if err != nil {
+		t.Fatalf("DecomposeCtx after cancel: %v", err)
+	}
+	if len(terms) == 0 {
+		t.Fatal("no terms after successful decomposition")
+	}
+}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"cmp"
+	"context"
 	"errors"
 	"fmt"
 	"slices"
@@ -59,6 +60,12 @@ func Regularize(d *matrix.Matrix, delta int64) *matrix.Matrix {
 // The resulting schedule completes d with CCT at most 2·(ρ + τ·δ) under
 // ocs.ExecAllStop — Theorem 2, enforced by this package's tests.
 func RecoSin(d *matrix.Matrix, delta int64) (ocs.CircuitSchedule, error) {
+	return RecoSinCtx(context.Background(), d, delta)
+}
+
+// RecoSinCtx is RecoSin with cooperative cancellation: the BvN extraction
+// loop polls ctx and aborts with ctx.Err() once it is cancelled.
+func RecoSinCtx(ctx context.Context, d *matrix.Matrix, delta int64) (ocs.CircuitSchedule, error) {
 	if delta < 0 {
 		return nil, fmt.Errorf("%w: delta %d", ErrBadParam, delta)
 	}
@@ -81,7 +88,7 @@ func RecoSin(d *matrix.Matrix, delta int64) (ocs.CircuitSchedule, error) {
 	stuffed := matrix.StuffPreferNonZero(reg)
 	end()
 	end = snk.Stage("bvn_decompose")
-	terms, err := bvn.Decompose(stuffed, bvn.MaxMin)
+	terms, err := bvn.DecomposeCtx(ctx, stuffed, bvn.MaxMin)
 	end()
 	if err != nil {
 		return nil, fmt.Errorf("core: reco-sin decomposition: %w", err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"reco/internal/matrix"
@@ -32,8 +33,18 @@ type MulPipelineResult struct {
 // OCS schedule with reconfiguration delay delta and transmission threshold c.
 // A nil w means unit weights.
 func ScheduleMul(ds []*matrix.Matrix, w []float64, delta, c int64) (*MulPipelineResult, error) {
+	return ScheduleMulCtx(context.Background(), ds, w, delta, c)
+}
+
+// ScheduleMulCtx is ScheduleMul with cooperative cancellation: ctx is polled
+// between pipeline stages, so a cancelled request aborts before the next
+// stage starts rather than running the pipeline to completion.
+func ScheduleMulCtx(ctx context.Context, ds []*matrix.Matrix, w []float64, delta, c int64) (*MulPipelineResult, error) {
 	if len(ds) == 0 {
 		return nil, fmt.Errorf("%w: no coflows", ErrBadParam)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	snk := obs.Current()
 	end := snk.Stage("ordering")
@@ -42,11 +53,17 @@ func ScheduleMul(ds []*matrix.Matrix, w []float64, delta, c int64) (*MulPipeline
 	if err != nil {
 		return nil, fmt.Errorf("core: reco-mul ordering: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	end = snk.Stage("packet_schedule")
 	sp, err := packet.ListSchedule(ds, order)
 	end()
 	if err != nil {
 		return nil, fmt.Errorf("core: reco-mul packet schedule: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	end = snk.Stage("reco_mul_transform")
 	mul, err := RecoMul(sp, ds[0].N(), delta, c)

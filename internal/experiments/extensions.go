@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"reco/internal/algo"
+	_ "reco/internal/algo/builtin" // populate the scheduler registry
 	"reco/internal/core"
-	"reco/internal/eclipse"
 	"reco/internal/hybrid"
 	"reco/internal/matrix"
 	"reco/internal/ocs"
@@ -15,14 +17,21 @@ import (
 	"reco/internal/solstice"
 	"reco/internal/stats"
 	"reco/internal/sunflow"
-	"reco/internal/tms"
 	"reco/internal/workload"
 )
+
+// extSingleAlgos are the registry names behind ExtSingle's columns, in
+// column order.
+var extSingleAlgos = []string{
+	algo.NameRecoSin, algo.NameSolstice, algo.NameSunflow,
+	algo.NameTMSBvN, algo.NameHelios, algo.NameEclipse,
+}
 
 // ExtSingle compares every single-coflow scheduler in the repository — the
 // paper's two (Reco-Sin, Solstice) plus the related-work baselines of
 // Table IV (Sunflow in the not-all-stop model, TMS's primitive BvN, and a
-// Helios-style slotted scheduler) — on mean CCT per density class.
+// Helios-style slotted scheduler) — on mean CCT per density class. Each
+// column is one registered scheduler, looked up by name.
 func ExtSingle(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	coflows, err := singleWorkload(cfg)
@@ -39,113 +48,53 @@ func ExtSingle(cfg Config) (*Table, error) {
 		},
 	}
 	type sample struct {
-		class                             workload.Class
-		reco, sol, sun, tmsb, helios, ecl float64
+		class workload.Class
+		cells []float64
 	}
 	samples, err := parallel.Map(cfg.workers(), len(coflows), func(i int) (sample, error) {
 		d := coflows[i].Demand
-		s := sample{class: workload.Classify(d)}
-		var err error
-
-		if s.reco, err = coreRecoSin(d, cfg.Delta); err != nil {
-			return s, err
+		s := sample{class: workload.Classify(d), cells: make([]float64, len(extSingleAlgos))}
+		req := algo.Request{Demands: []*matrix.Matrix{d}, Delta: cfg.Delta, C: cfg.C}
+		for ai, name := range extSingleAlgos {
+			res, err := algo.MustGet(name).Schedule(context.Background(), req)
+			if err != nil {
+				return s, fmt.Errorf("ext-single %s: %w", name, err)
+			}
+			s.cells[ai] = float64(res.CCTs[0])
 		}
-		if s.sol, err = solsticeCCT(d, cfg.Delta); err != nil {
-			return s, err
-		}
-
-		sun, err := sunflow.Schedule(d, cfg.Delta)
-		if err != nil {
-			return s, fmt.Errorf("ext-single sunflow: %w", err)
-		}
-		s.sun = float64(sun.CCT)
-
-		bvnCS, err := tms.ScheduleBvN(d)
-		if err != nil {
-			return s, fmt.Errorf("ext-single tms: %w", err)
-		}
-		bvnRes, err := ocs.ExecAllStop(d, bvnCS, cfg.Delta)
-		if err != nil {
-			return s, fmt.Errorf("ext-single tms exec: %w", err)
-		}
-		s.tmsb = float64(bvnRes.CCT)
-
-		helCS, err := tms.ScheduleHelios(d, 4*cfg.Delta)
-		if err != nil {
-			return s, fmt.Errorf("ext-single helios: %w", err)
-		}
-		helRes, err := ocs.ExecAllStop(d, helCS, cfg.Delta)
-		if err != nil {
-			return s, fmt.Errorf("ext-single helios exec: %w", err)
-		}
-		s.helios = float64(helRes.CCT)
-
-		eclCS, err := eclipse.Schedule(d, cfg.Delta)
-		if err != nil {
-			return s, fmt.Errorf("ext-single eclipse: %w", err)
-		}
-		eclRes, err := ocs.ExecAllStop(d, eclCS, cfg.Delta)
-		if err != nil {
-			return s, fmt.Errorf("ext-single eclipse exec: %w", err)
-		}
-		s.ecl = float64(eclRes.CCT)
 		return s, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	type acc struct{ reco, sol, sun, tmsb, helios, ecl []float64 }
-	byClass := map[workload.Class]*acc{}
+	byClass := map[workload.Class][][]float64{}
 	for _, cl := range classOrder {
-		byClass[cl] = &acc{}
+		byClass[cl] = make([][]float64, len(extSingleAlgos))
 	}
 	for _, s := range samples {
 		a := byClass[s.class]
-		a.reco = append(a.reco, s.reco)
-		a.sol = append(a.sol, s.sol)
-		a.sun = append(a.sun, s.sun)
-		a.tmsb = append(a.tmsb, s.tmsb)
-		a.helios = append(a.helios, s.helios)
-		a.ecl = append(a.ecl, s.ecl)
+		for ai, v := range s.cells {
+			a[ai] = append(a[ai], v)
+		}
 	}
 	for _, cl := range classOrder {
 		a := byClass[cl]
-		reco, err := stats.Mean(a.reco)
-		if err != nil {
+		cells := make([]float64, len(extSingleAlgos))
+		skip := false
+		for ai := range extSingleAlgos {
+			mean, err := stats.Mean(a[ai])
+			if err != nil {
+				skip = true
+				break
+			}
+			cells[ai] = mean
+		}
+		if skip {
 			continue
 		}
-		sol, _ := stats.Mean(a.sol)
-		sun, _ := stats.Mean(a.sun)
-		tmsb, _ := stats.Mean(a.tmsb)
-		hel, _ := stats.Mean(a.helios)
-		ecl, _ := stats.Mean(a.ecl)
-		t.AddRow(cl.String(), reco, sol, sun, tmsb, hel, ecl)
+		t.AddRow(cl.String(), cells...)
 	}
 	return t, nil
-}
-
-func coreRecoSin(d *matrix.Matrix, delta int64) (float64, error) {
-	cs, err := core.RecoSin(d, delta)
-	if err != nil {
-		return 0, fmt.Errorf("ext-single reco-sin: %w", err)
-	}
-	res, err := ocs.ExecAllStop(d, cs, delta)
-	if err != nil {
-		return 0, fmt.Errorf("ext-single reco-sin exec: %w", err)
-	}
-	return float64(res.CCT), nil
-}
-
-func solsticeCCT(d *matrix.Matrix, delta int64) (float64, error) {
-	cs, err := solstice.Schedule(d)
-	if err != nil {
-		return 0, fmt.Errorf("ext-single solstice: %w", err)
-	}
-	res, err := ocs.ExecAllStop(d, cs, delta)
-	if err != nil {
-		return 0, fmt.Errorf("ext-single solstice exec: %w", err)
-	}
-	return float64(res.CCT), nil
 }
 
 // ExtOnline compares the online controller policies (Sec. VIII's future

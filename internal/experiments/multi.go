@@ -1,16 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"reco/internal/algo"
 	"reco/internal/core"
-	"reco/internal/lpiigb"
 	"reco/internal/matrix"
-	"reco/internal/ocs"
 	"reco/internal/ordering"
 	"reco/internal/packet"
 	"reco/internal/parallel"
-	"reco/internal/solstice"
 	"reco/internal/stats"
 	"reco/internal/workload"
 )
@@ -107,14 +106,15 @@ type mulOutcome struct {
 	weights                    []float64
 }
 
-// runMulBatch schedules one batch with Reco-Mul, LP-II-GB and (optionally)
-// SEBF+Solstice under the all-stop model.
+// runMulBatch schedules one batch with the registered Reco-Mul, LP-II-GB
+// and (optionally) SEBF+Solstice schedulers under the all-stop model.
 func runMulBatch(ds []*matrix.Matrix, w []float64, delta, c int64, withSEBF bool) (*mulOutcome, error) {
-	reco, err := core.ScheduleMul(ds, w, delta, c)
+	req := algo.Request{Demands: ds, Weights: w, Delta: delta, C: c}
+	reco, err := algo.MustGet(algo.NameRecoMul).Schedule(context.Background(), req)
 	if err != nil {
 		return nil, fmt.Errorf("reco-mul: %w", err)
 	}
-	lp, err := lpiigb.ScheduleSequential(ds, w, delta)
+	lp, err := algo.MustGet(algo.NameLPIIGB).Schedule(context.Background(), req)
 	if err != nil {
 		return nil, fmt.Errorf("lp-ii-gb: %w", err)
 	}
@@ -126,18 +126,9 @@ func runMulBatch(ds []*matrix.Matrix, w []float64, delta, c int64, withSEBF bool
 		weights:    w,
 	}
 	if withSEBF {
-		order := ordering.SEBF(ds)
-		schedules := make([]ocs.CircuitSchedule, len(ds))
-		for k, d := range ds {
-			cs, err := solstice.Schedule(d)
-			if err != nil {
-				return nil, fmt.Errorf("sebf+solstice coflow %d: %w", k, err)
-			}
-			schedules[k] = cs
-		}
-		seq, err := ocs.ExecSequential(ds, schedules, order, delta)
+		seq, err := algo.MustGet(algo.NameSEBFSolstice).Schedule(context.Background(), req)
 		if err != nil {
-			return nil, fmt.Errorf("sebf+solstice exec: %w", err)
+			return nil, fmt.Errorf("sebf+solstice: %w", err)
 		}
 		out.sebfCCTs = seq.CCTs
 	}

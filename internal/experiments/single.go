@@ -1,14 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"reco/internal/algo"
 	"reco/internal/bvn"
 	"reco/internal/core"
 	"reco/internal/matrix"
 	"reco/internal/ocs"
 	"reco/internal/parallel"
-	"reco/internal/solstice"
 	"reco/internal/stats"
 	"reco/internal/workload"
 )
@@ -35,37 +36,32 @@ type singleMetrics struct {
 	recoCCT, solCCT, lower float64
 }
 
-// runSingle schedules every coflow with Reco-Sin and Solstice under the
-// all-stop model with the given delta. Coflows are independent trials, so
-// they fan out over the worker pool; the returned slice is in coflow order
-// regardless of the worker count.
+// runSingle schedules every coflow with the registered Reco-Sin and
+// Solstice schedulers under the all-stop model with the given delta.
+// Coflows are independent trials, so they fan out over the worker pool; the
+// returned slice is in coflow order regardless of the worker count.
 func runSingle(coflows []workload.Coflow, delta int64, workers int) ([]singleMetrics, error) {
+	recoSin := algo.MustGet(algo.NameRecoSin)
+	sol := algo.MustGet(algo.NameSolstice)
 	return parallel.Map(workers, len(coflows), func(i int) (singleMetrics, error) {
 		c := coflows[i]
 		d := c.Demand
 		var zero singleMetrics
-		recoCS, err := core.RecoSin(d, delta)
+		req := algo.Request{Demands: []*matrix.Matrix{d}, Delta: delta}
+		recoRes, err := recoSin.Schedule(context.Background(), req)
 		if err != nil {
 			return zero, fmt.Errorf("reco-sin on coflow %d: %w", c.ID, err)
 		}
-		recoRes, err := ocs.ExecAllStop(d, recoCS, delta)
-		if err != nil {
-			return zero, fmt.Errorf("reco-sin exec on coflow %d: %w", c.ID, err)
-		}
-		solCS, err := solstice.Schedule(d)
+		solRes, err := sol.Schedule(context.Background(), req)
 		if err != nil {
 			return zero, fmt.Errorf("solstice on coflow %d: %w", c.ID, err)
-		}
-		solRes, err := ocs.ExecAllStop(d, solCS, delta)
-		if err != nil {
-			return zero, fmt.Errorf("solstice exec on coflow %d: %w", c.ID, err)
 		}
 		return singleMetrics{
 			class:      workload.Classify(d),
 			recoReconf: float64(recoRes.Reconfigs),
 			solReconf:  float64(solRes.Reconfigs),
-			recoCCT:    float64(recoRes.CCT),
-			solCCT:     float64(solRes.CCT),
+			recoCCT:    float64(recoRes.CCTs[0]),
+			solCCT:     float64(solRes.CCTs[0]),
 			lower:      float64(ocs.LowerBound(d, delta)),
 		}, nil
 	})

@@ -1,0 +1,34 @@
+package lp
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSolveCtxCancelled: a cancelled context aborts the simplex iteration
+// loop and surfaces ctx.Err() instead of a solution.
+func TestSolveCtxCancelled(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(1)
+	y := p.AddVariable(2)
+	mustAdd(t, p, map[int]float64{x: 1, y: 1}, GE, 3)
+	mustAdd(t, p, map[int]float64{x: 1}, LE, 2)
+	mustAdd(t, p, map[int]float64{y: 1}, LE, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.SolveCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveCtx(cancelled) = %v, want context.Canceled", err)
+	}
+
+	// The problem is still solvable afterwards: cancellation aborts a run,
+	// it does not corrupt the problem.
+	sol, err := p.SolveCtx(context.Background())
+	if err != nil {
+		t.Fatalf("SolveCtx after cancel: %v", err)
+	}
+	if !approxEq(sol.Objective, 4) {
+		t.Errorf("objective = %v, want 4", sol.Objective)
+	}
+}

@@ -6,6 +6,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -34,6 +35,11 @@ var ErrUnbounded = errors.New("lp: unbounded")
 var ErrIterationLimit = errors.New("lp: iteration limit exceeded")
 
 const eps = 1e-9
+
+// ctxCheckStride is how many pivot iterations run between context polls: a
+// pivot touches the whole tableau, so even a coarse stride keeps the time to
+// notice cancellation far below a single LP-II solve.
+const ctxCheckStride = 32
 
 // Problem is a minimization LP over non-negative variables:
 // minimize c·x subject to the added constraints and x ≥ 0.
@@ -89,6 +95,13 @@ type Solution struct {
 // Solve runs the two-phase simplex and returns an optimal solution, or
 // ErrInfeasible / ErrUnbounded / ErrIterationLimit.
 func (p *Problem) Solve() (*Solution, error) {
+	return p.SolveCtx(context.Background())
+}
+
+// SolveCtx is Solve with cooperative cancellation: the pivot loop checks ctx
+// periodically and returns ctx.Err() once it is cancelled, so API handlers
+// and the CLI can abort a long solve on timeout or Ctrl-C.
+func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	obs.Current().Inc("lp_solves_total")
 	n := len(p.costs)
 	m := len(p.cons)
@@ -190,7 +203,7 @@ func (p *Problem) Solve() (*Solution, error) {
 		}
 	}
 	if hasArtificial {
-		obj, err := t.optimize(phase1)
+		obj, err := t.optimize(ctx, phase1)
 		if err != nil {
 			// Phase 1 is bounded below by 0, so ErrUnbounded cannot occur.
 			return nil, err
@@ -236,7 +249,7 @@ func (p *Problem) Solve() (*Solution, error) {
 			}
 		}
 	}
-	obj, err := t.optimize(phase2)
+	obj, err := t.optimize(ctx, phase2)
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +275,8 @@ type tableau struct {
 
 // optimize runs primal simplex iterations for the given cost vector on the
 // current basic feasible solution and returns the optimal objective value.
-func (t *tableau) optimize(costs []float64) (float64, error) {
+// It polls ctx every ctxCheckStride iterations and aborts with ctx.Err().
+func (t *tableau) optimize(ctx context.Context, costs []float64) (float64, error) {
 	// Pivot count flushed on every exit; with no sink attached this is a
 	// plain local increment per iteration.
 	iters := 0
@@ -292,6 +306,11 @@ func (t *tableau) optimize(costs []float64) (float64, error) {
 	}
 	for iter := 0; iter < maxIter; iter++ {
 		iters = iter + 1
+		if iter%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		// Entering column: most negative reduced cost (Dantzig); switch to
 		// Bland's rule late to guarantee termination on degenerate problems.
 		bland := iter > maxIter/2

@@ -13,6 +13,7 @@
 package lpiigb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -44,16 +45,23 @@ type Result struct {
 // schedule of its stuffed demand matrix, under the all-stop OCS model with
 // reconfiguration delay delta. A nil w means unit weights.
 func ScheduleSequential(ds []*matrix.Matrix, w []float64, delta int64) (*Result, error) {
+	return ScheduleSequentialCtx(context.Background(), ds, w, delta)
+}
+
+// ScheduleSequentialCtx is ScheduleSequential with cooperative cancellation:
+// the LP solve and the per-coflow BvN decompositions poll ctx and abort with
+// ctx.Err() once it is cancelled.
+func ScheduleSequentialCtx(ctx context.Context, ds []*matrix.Matrix, w []float64, delta int64) (*Result, error) {
 	if len(ds) == 0 {
 		return nil, fmt.Errorf("lpiigb: no coflows")
 	}
-	lpRes, err := ordering.LPII(ds, w)
+	lpRes, err := ordering.LPIICtx(ctx, ds, w)
 	if err != nil {
 		return nil, fmt.Errorf("lpiigb: %w", err)
 	}
 	schedules := make([]ocs.CircuitSchedule, len(ds))
 	for k, d := range ds {
-		cs, err := bvnSchedule(d)
+		cs, err := bvnSchedule(ctx, d)
 		if err != nil {
 			return nil, fmt.Errorf("lpiigb: coflow %d: %w", k, err)
 		}
@@ -78,11 +86,11 @@ func ScheduleSequential(ds []*matrix.Matrix, w []float64, delta int64) (*Result,
 
 // bvnSchedule builds the primitive per-coflow circuit schedule LP-II-GB
 // uses: stuff, then first-fit Birkhoff–von Neumann decomposition.
-func bvnSchedule(d *matrix.Matrix) (ocs.CircuitSchedule, error) {
+func bvnSchedule(ctx context.Context, d *matrix.Matrix) (ocs.CircuitSchedule, error) {
 	if d.IsZero() {
 		return nil, nil
 	}
-	terms, err := bvn.Decompose(matrix.Stuff(d), bvn.FirstFit)
+	terms, err := bvn.DecomposeCtx(ctx, matrix.Stuff(d), bvn.FirstFit)
 	if err != nil {
 		return nil, err
 	}
@@ -97,11 +105,18 @@ func bvnSchedule(d *matrix.Matrix) (ocs.CircuitSchedule, error) {
 // the all-stop OCS model with reconfiguration delay delta. A nil w means
 // unit weights.
 func Schedule(ds []*matrix.Matrix, w []float64, delta int64) (*Result, error) {
+	return ScheduleCtx(context.Background(), ds, w, delta)
+}
+
+// ScheduleCtx is Schedule with cooperative cancellation: the LP solve and
+// the per-group BvN decompositions poll ctx and abort with ctx.Err() once it
+// is cancelled.
+func ScheduleCtx(ctx context.Context, ds []*matrix.Matrix, w []float64, delta int64) (*Result, error) {
 	if len(ds) == 0 {
 		return nil, fmt.Errorf("lpiigb: no coflows")
 	}
 	n := ds[0].N()
-	lpRes, err := ordering.LPII(ds, w)
+	lpRes, err := ordering.LPIICtx(ctx, ds, w)
 	if err != nil {
 		return nil, fmt.Errorf("lpiigb: %w", err)
 	}
@@ -138,7 +153,7 @@ func Schedule(ds []*matrix.Matrix, w []float64, delta int64) (*Result, error) {
 			continue
 		}
 		stuffed := matrix.Stuff(agg)
-		terms, err := bvn.Decompose(stuffed, bvn.FirstFit)
+		terms, err := bvn.DecomposeCtx(ctx, stuffed, bvn.FirstFit)
 		if err != nil {
 			return nil, fmt.Errorf("lpiigb: group %d: %w", g, err)
 		}

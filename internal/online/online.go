@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"reco/internal/algo"
 	"reco/internal/core"
 	"reco/internal/matrix"
 	"reco/internal/ocs"
@@ -40,7 +41,7 @@ type Policy interface {
 type FIFO struct{}
 
 // Name implements Policy.
-func (FIFO) Name() string { return "fifo-reco-sin" }
+func (FIFO) Name() string { return "fifo-" + algo.NameRecoSin }
 
 // Pick implements Policy.
 func (FIFO) Pick(pending []int, arrivals []Arrival, _ int64) []int {
@@ -58,7 +59,7 @@ func (FIFO) Pick(pending []int, arrivals []Arrival, _ int64) []int {
 type SEBF struct{}
 
 // Name implements Policy.
-func (SEBF) Name() string { return "sebf-reco-sin" }
+func (SEBF) Name() string { return "sebf-" + algo.NameRecoSin }
 
 // Pick implements Policy.
 func (SEBF) Pick(pending []int, arrivals []Arrival, _ int64) []int {
@@ -80,7 +81,7 @@ func (SEBF) Pick(pending []int, arrivals []Arrival, _ int64) []int {
 type Batch struct{}
 
 // Name implements Policy.
-func (Batch) Name() string { return "batch-reco-mul" }
+func (Batch) Name() string { return "batch-" + algo.NameRecoMul }
 
 // Pick implements Policy.
 func (Batch) Pick(pending []int, _ []Arrival, _ int64) []int {
@@ -97,7 +98,7 @@ func (Batch) Pick(pending []int, _ []Arrival, _ int64) []int {
 type DisjointBatch struct{}
 
 // Name implements Policy.
-func (DisjointBatch) Name() string { return "disjoint-reco-mul" }
+func (DisjointBatch) Name() string { return "disjoint-" + algo.NameRecoMul }
 
 // Pick implements Policy.
 func (DisjointBatch) Pick(pending []int, arrivals []Arrival, _ int64) []int {

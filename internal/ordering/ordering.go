@@ -7,6 +7,7 @@
 package ordering
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -160,6 +161,12 @@ type LPIIResult struct {
 // (τ_{l−1}, τ_l], τ_l = τ_min·2^l, in which coflow k completes; per-port
 // cumulative load constraints enforce capacity. A nil w means unit weights.
 func LPII(ds []*matrix.Matrix, w []float64) (*LPIIResult, error) {
+	return LPIICtx(context.Background(), ds, w)
+}
+
+// LPIICtx is LPII with cooperative cancellation: the embedded simplex solve
+// polls ctx and aborts with ctx.Err() once it is cancelled.
+func LPIICtx(ctx context.Context, ds []*matrix.Matrix, w []float64) (*LPIIResult, error) {
 	kk := len(ds)
 	if kk == 0 {
 		return nil, fmt.Errorf("ordering: no coflows")
@@ -275,7 +282,7 @@ func LPII(ds []*matrix.Matrix, w []float64) (*LPIIResult, error) {
 		}
 	}
 
-	sol, err := prob.Solve()
+	sol, err := prob.SolveCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("ordering: lp-ii solve: %w", err)
 	}

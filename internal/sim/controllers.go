@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reco/internal/algo"
 	"reco/internal/matching"
 	"reco/internal/matrix"
 	"reco/internal/ocs"
@@ -19,6 +20,9 @@ type Replay struct {
 func NewReplay(cs ocs.CircuitSchedule) *Replay {
 	return &Replay{schedule: cs}
 }
+
+// Name implements Controller.
+func (r *Replay) Name() string { return "replay" }
 
 // Next implements Controller.
 func (r *Replay) Next(s State) Decision {
@@ -48,6 +52,9 @@ type ReplayLoop struct {
 func NewReplayLoop(cs ocs.CircuitSchedule) *ReplayLoop {
 	return &ReplayLoop{schedule: cs}
 }
+
+// Name implements Controller.
+func (r *ReplayLoop) Name() string { return "replay-loop" }
 
 // Next implements Controller: the next assignment (cyclically) with
 // undrained demand, or stop when a full cycle finds none.
@@ -84,6 +91,9 @@ type GreedyBottleneck struct {
 func NewGreedyBottleneck() GreedyBottleneck {
 	return GreedyBottleneck{eng: new(matching.Engine)}
 }
+
+// Name implements Controller.
+func (g GreedyBottleneck) Name() string { return "greedy-bottleneck" }
 
 // Next implements Controller.
 func (g GreedyBottleneck) Next(s State) Decision {
@@ -131,6 +141,10 @@ type GreedyMaxWeight struct {
 	// Slot is the hold duration per establishment; it must be positive.
 	Slot int64
 }
+
+// Name implements Controller: the slotted max-weight policy is the
+// closed-loop counterpart of the registered Helios scheduler.
+func (g GreedyMaxWeight) Name() string { return algo.NameHelios + "-slotted" }
 
 // Next implements Controller.
 func (g GreedyMaxWeight) Next(s State) Decision {

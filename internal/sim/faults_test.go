@@ -375,6 +375,7 @@ func TestRunFaultsDeterministic(t *testing.T) {
 // TestWaitValidation: waiting with nothing to wait for is a controller bug.
 type waitController struct{ wait int64 }
 
+func (w waitController) Name() string        { return "wait" }
 func (w waitController) Next(State) Decision { return Decision{Wait: w.wait} }
 
 func TestWaitValidation(t *testing.T) {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reco/internal/algo"
 	"reco/internal/core"
 	"reco/internal/faults"
 	"reco/internal/matrix"
@@ -76,6 +77,10 @@ func NewPredictiveRecover(d *matrix.Matrix, cs ocs.CircuitSchedule, delta int64,
 	}
 	return NewRecover(delta)
 }
+
+// Name implements Controller: the recovery controller replans residual
+// demand with the registered Reco-Sin scheduler.
+func (rc *Recover) Name() string { return algo.NameRecoSin + "-recover" }
 
 // Next implements Controller.
 func (rc *Recover) Next(s State) Decision {

@@ -91,6 +91,10 @@ type Decision struct {
 
 // Controller decides establishments as the switch runs.
 type Controller interface {
+	// Name identifies the control policy; controllers that realize a
+	// registered scheduling algorithm compose their name from the
+	// internal/algo name constants.
+	Name() string
 	// Next is called whenever the switch is idle. Returning Decision{} (nil
 	// Perm, zero Wait) ends the run.
 	Next(s State) Decision

@@ -47,6 +47,8 @@ func TestRunValidation(t *testing.T) {
 
 type fixedController struct{ decisions []Decision }
 
+func (f *fixedController) Name() string { return "fixed" }
+
 func (f *fixedController) Next(State) Decision {
 	if len(f.decisions) == 0 {
 		return Decision{}
