@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-short bench-json verify results examples fmt fmt-check vet check clean
+.PHONY: all build test test-short race cover bench bench-short bench-json verify results examples fmt fmt-check vet check clean loadtest-short loadtest
 
 all: build test
 
@@ -39,6 +39,29 @@ bench-short:
 # Timing records for the perf trajectory (name, ns/op, allocs/op, workers).
 bench-json:
 	$(GO) run ./cmd/recobench -bench -exp all > BENCH_experiments.json
+
+# Short closed-loop load test against an in-process recod (~2 s of driving):
+# runs recoload, then recobench -compare against the committed baseline with
+# a huge threshold — the compare never gates on timing noise, it only proves
+# the report still parses in the recobench schema (shape smoke test).
+loadtest-short:
+	$(GO) run ./cmd/recoload -inprocess -duration 2s -concurrency 4 \
+		-n 8 -coflows 4 -reuse 0.9 -mix single=0.8,multi=0.2 \
+		-label warm -bench /tmp/recoload-short.json > /dev/null
+	$(GO) run ./cmd/recobench -compare -regress 1e9 BENCH_recoload.json /tmp/recoload-short.json
+	@rm -f /tmp/recoload-short.json
+
+# Regenerate the committed load-test baseline (warm cache vs cold, ~10 s).
+# helios is the compute-heavy scheduler, so the warm/cold p50 ratio shows
+# the plan cache's effect rather than JSON transport overhead.
+loadtest:
+	$(GO) run ./cmd/recoload -inprocess -duration 4s -concurrency 4 \
+		-n 32 -coflows 8 -alg helios -reuse 0.9 -label warm \
+		-bench BENCH_recoload.json > /dev/null
+	$(GO) run ./cmd/recoload -inprocess -duration 4s -concurrency 4 \
+		-n 32 -coflows 8 -alg helios -reuse 0 -no-cache -label cold \
+		-bench BENCH_recoload.json > /dev/null
+	@cat BENCH_recoload.json
 
 # Re-check every qualitative claim of the paper against a fresh run (~30 s).
 verify:

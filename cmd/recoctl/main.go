@@ -5,6 +5,10 @@
 //	recoctl single -demand demand.json -delta 100
 //	recoctl multi  -demands demands.json -delta 100 -c 4
 //	recoctl workload -n 40 -coflows 20 -seed 1 > demands.json
+//	recoctl job submit -kind single -demand demand.json -delta 100 -wait
+//	recoctl job status j00000001
+//	recoctl job list
+//	recoctl job cancel j00000001
 //
 // demand.json holds a JSON array of rows ([[...int64]]); demands.json holds
 // an array of such matrices. `workload` emits demands.json-compatible
@@ -39,7 +43,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		fmt.Fprintln(stderr, "recoctl: subcommand required: health, single, multi, workload")
+		fmt.Fprintln(stderr, "recoctl: subcommand required: health, single, multi, workload, job")
 		return 2
 	}
 	client := api.NewClient(*server, nil)
@@ -59,6 +63,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		err = runMulti(ctx, client, rest[1:], stdin, stdout, stderr)
 	case "workload":
 		err = runWorkload(ctx, client, rest[1:], stdout, stderr)
+	case "job":
+		var code int
+		code, err = runJob(ctx, client, rest[1:], stdin, stdout, stderr)
+		if code != 0 {
+			return code
+		}
 	default:
 		fmt.Fprintf(stderr, "recoctl: unknown subcommand %q\n", rest[0])
 		return 2
@@ -98,21 +108,11 @@ func runMulti(ctx context.Context, client *api.Client, args []string, stdin io.R
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var payload struct {
-		Demands [][][]int64 `json:"demands"`
-	}
-	// Accept either a bare array of matrices or a {"demands": ...} wrapper
-	// (the shape `recoctl workload` emits).
-	raw, err := readInput(*demandsPath, stdin)
+	demands, err := readDemands(*demandsPath, stdin)
 	if err != nil {
 		return err
 	}
-	if err := json.Unmarshal(raw, &payload); err != nil || payload.Demands == nil {
-		if err2 := json.Unmarshal(raw, &payload.Demands); err2 != nil {
-			return fmt.Errorf("decoding demands: %w", err2)
-		}
-	}
-	resp, err := client.ScheduleMulti(ctx, api.MultiRequest{Demands: payload.Demands, Delta: *delta, C: *c})
+	resp, err := client.ScheduleMulti(ctx, api.MultiRequest{Demands: demands, Delta: *delta, C: *c})
 	if err != nil {
 		return err
 	}
@@ -142,6 +142,122 @@ func runWorkload(ctx context.Context, client *api.Client, args []string, stdout,
 		return err
 	}
 	return writeJSON(stdout, resp)
+}
+
+// runJob dispatches the async-job verbs. It returns a usage code (2) for
+// unknown verbs so the caller can distinguish usage errors from request
+// failures.
+func runJob(ctx context.Context, client *api.Client, args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "recoctl job: verb required: submit, status, list, cancel")
+		return 2, nil
+	}
+	var err error
+	switch args[0] {
+	case "submit":
+		err = runJobSubmit(ctx, client, args[1:], stdin, stdout, stderr)
+	case "status":
+		err = runJobStatus(ctx, client, args[1:], stdout, stderr)
+	case "list":
+		err = runJobList(ctx, client, stdout)
+	case "cancel":
+		err = runJobCancel(ctx, client, args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "recoctl job: unknown verb %q\n", args[0])
+		return 2, nil
+	}
+	return 0, err
+}
+
+func runJobSubmit(ctx context.Context, client *api.Client, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("job submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("kind", "single", `job kind: "single" or "multi"`)
+	demandPath := fs.String("demand", "-", "single: path to the demand matrix JSON ('-' for stdin)")
+	demandsPath := fs.String("demands", "-", "multi: path to the demand matrices JSON ('-' for stdin)")
+	delta := fs.Int64("delta", 100, "reconfiguration delay in ticks")
+	c := fs.Int64("c", 4, "multi: optical transmission threshold")
+	alg := fs.String("alg", "", "algorithm name (empty: the kind's default)")
+	wait := fs.Bool("wait", false, "poll until the job finishes and print the final state")
+	poll := fs.Duration("poll", 100*time.Millisecond, "polling interval with -wait")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req := api.JobRequest{Kind: *kind}
+	switch *kind {
+	case "single":
+		var demand [][]int64
+		if err := readJSONInput(*demandPath, stdin, &demand); err != nil {
+			return err
+		}
+		req.Single = &api.SingleRequest{Demand: demand, Delta: *delta, Algorithm: *alg}
+	case "multi":
+		demands, err := readDemands(*demandsPath, stdin)
+		if err != nil {
+			return err
+		}
+		req.Multi = &api.MultiRequest{Demands: demands, Delta: *delta, C: *c, Algorithm: *alg}
+	default:
+		return fmt.Errorf("unknown job kind %q", *kind)
+	}
+	info, err := client.SubmitJob(ctx, req)
+	if err != nil {
+		return err
+	}
+	if *wait {
+		if info, err = client.WaitJob(ctx, info.ID, *poll); err != nil {
+			return err
+		}
+	}
+	return writeJSON(stdout, info)
+}
+
+func runJobStatus(ctx context.Context, client *api.Client, args []string, stdout, stderr io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: recoctl job status <id>")
+	}
+	info, err := client.Job(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	return writeJSON(stdout, info)
+}
+
+func runJobList(ctx context.Context, client *api.Client, stdout io.Writer) error {
+	list, err := client.Jobs(ctx)
+	if err != nil {
+		return err
+	}
+	return writeJSON(stdout, list)
+}
+
+func runJobCancel(ctx context.Context, client *api.Client, args []string, stdout, stderr io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: recoctl job cancel <id>")
+	}
+	info, err := client.CancelJob(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	return writeJSON(stdout, info)
+}
+
+// readDemands reads a demand-matrix batch, accepting either a bare array of
+// matrices or the {"demands": ...} wrapper `recoctl workload` emits.
+func readDemands(path string, stdin io.Reader) ([][][]int64, error) {
+	raw, err := readInput(path, stdin)
+	if err != nil {
+		return nil, err
+	}
+	var payload struct {
+		Demands [][][]int64 `json:"demands"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil || payload.Demands == nil {
+		if err2 := json.Unmarshal(raw, &payload.Demands); err2 != nil {
+			return nil, fmt.Errorf("decoding demands: %w", err2)
+		}
+	}
+	return payload.Demands, nil
 }
 
 func readInput(path string, stdin io.Reader) ([]byte, error) {

@@ -71,6 +71,64 @@ func TestWorkloadPipesIntoMulti(t *testing.T) {
 	}
 }
 
+// TestJobSubcommands drives submit/status/list/cancel against a live
+// httptest server, with a table of both good and bad invocations.
+func TestJobSubcommands(t *testing.T) {
+	url := newServer(t)
+	demand := `[[104,109,102],[103,105,107],[108,101,106]]`
+
+	// Submit with -wait so the job is terminal, then feed its id into the
+	// table below.
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-server", url, "job", "submit", "-kind", "single", "-demand", "-", "-delta", "100", "-wait", "-poll", "1ms"},
+		strings.NewReader(demand), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("job submit exit %d, stderr: %s", code, errBuf.String())
+	}
+	var done api.JobInfo
+	if err := json.Unmarshal(out.Bytes(), &done); err != nil {
+		t.Fatalf("decoding submit output: %v", err)
+	}
+	if done.State != api.JobDone || done.Single == nil || done.Single.CCT != 618 {
+		t.Fatalf("waited job: %+v", done)
+	}
+
+	cases := []struct {
+		name     string
+		args     []string
+		stdin    string
+		wantCode int
+		wantOut  string // substring of stdout when wantCode == 0
+	}{
+		{"status", []string{"job", "status", done.ID}, "", 0, `"state": "done"`},
+		{"list", []string{"job", "list"}, "", 0, done.ID},
+		{"cancel terminal job", []string{"job", "cancel", done.ID}, "", 0, `"state": "done"`},
+		{"submit multi", []string{"job", "submit", "-kind", "multi", "-demands", "-", "-delta", "100", "-c", "4", "-wait", "-poll", "1ms"},
+			"[" + demand + "," + demand + "]", 0, `"state": "done"`},
+		{"status unknown id", []string{"job", "status", "j99999999"}, "", 1, ""},
+		{"cancel unknown id", []string{"job", "cancel", "j99999999"}, "", 1, ""},
+		{"status without id", []string{"job", "status"}, "", 1, ""},
+		{"missing verb", []string{"job"}, "", 2, ""},
+		{"unknown verb", []string{"job", "frob"}, "", 2, ""},
+		{"bad kind", []string{"job", "submit", "-kind", "triple", "-demand", "-"}, demand, 1, ""},
+		{"unknown algorithm", []string{"job", "submit", "-kind", "single", "-demand", "-", "-alg", "no-such"}, demand, 1, ""},
+		{"malformed demand", []string{"job", "submit", "-kind", "single", "-demand", "-"}, "{", 1, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			args := append([]string{"-server", url}, tc.args...)
+			code := run(args, strings.NewReader(tc.stdin), &out, &errBuf)
+			if code != tc.wantCode {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, tc.wantCode, errBuf.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(out.String(), tc.wantOut) {
+				t.Errorf("stdout %q does not contain %q", out.String(), tc.wantOut)
+			}
+		})
+	}
+}
+
 func TestBadInvocations(t *testing.T) {
 	url := newServer(t)
 	var out, errBuf bytes.Buffer

@@ -9,10 +9,20 @@
 //	POST /v1/schedule/single     {"demand": [[...]], "delta": 100}
 //	POST /v1/schedule/multi      {"demands": [...], "weights": [...], "delta": 100, "c": 4}
 //	POST /v1/workload/generate   {"n": 40, "numCoflows": 20, "seed": 1}
+//	POST /v1/jobs                async job submit; 202 + job id
+//	GET  /v1/jobs                list retained jobs
+//	GET  /v1/jobs/{id}           poll one job (result once terminal)
+//	POST /v1/jobs/{id}/cancel    cancel a queued or running job
 //	GET  /healthz                liveness: uptime, Go version
 //	GET  /metrics                Prometheus text format (HTTP + scheduler pipeline)
 //	GET  /metrics.json           the same registry as expvar-style JSON
 //	GET  /v1/metrics             per-endpoint plain text with latency quantiles
+//
+// Scheduling responses are served through a fingerprint-keyed plan cache
+// with request coalescing (tune with -cache-entries / -cache-bytes /
+// -cache-epsilon, or disable with -no-cache); request bodies are capped at
+// -max-body bytes (413 beyond). Async jobs run on a bounded pool
+// (-job-workers, -job-queue, -job-retention).
 //
 // With -pprof, net/http/pprof is mounted under /debug/pprof/ (off by
 // default). The process shuts down gracefully on SIGINT/SIGTERM, draining
@@ -35,6 +45,7 @@ import (
 
 	"reco/internal/api"
 	"reco/internal/obs"
+	"reco/internal/plancache"
 )
 
 func main() {
@@ -46,6 +57,15 @@ func run() int {
 		addr      = flag.String("addr", "127.0.0.1:8372", "listen address")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 		withPprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		maxBody      = flag.Int64("max-body", api.DefaultMaxBodyBytes, "maximum request body in bytes (413 beyond)")
+		noCache      = flag.Bool("no-cache", false, "disable the plan cache (coalescing stays on)")
+		cacheEntries = flag.Int("cache-entries", 0, "plan cache entry bound (0: default)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "plan cache approximate byte bound (0: default)")
+		cacheEps     = flag.Float64("cache-epsilon", 0, "relative tolerance for quantized cache keys (0: exact matches only)")
+		jobWorkers   = flag.Int("job-workers", 0, "async job worker goroutines (0: GOMAXPROCS)")
+		jobQueue     = flag.Int("job-queue", 0, "async job queue bound (0: default)")
+		jobRetention = flag.Int("job-retention", 0, "finished jobs retained for polling (0: default)")
 	)
 	flag.Parse()
 
@@ -53,15 +73,31 @@ func run() int {
 
 	// One registry carries everything: HTTP metrics from the api collector
 	// and — because the sink is attached process-wide — the scheduler
-	// pipeline series (stage timings, BvN terms, matching and LP counters)
-	// emitted while requests are being served.
+	// pipeline series (stage timings, BvN terms, matching and LP counters,
+	// plan-cache and job-pool series) emitted while requests are being
+	// served.
 	reg := obs.NewRegistry()
 	obs.Attach(&obs.Sink{Metrics: reg})
 	defer obs.Detach()
 
+	opts := api.Options{
+		MaxBodyBytes: *maxBody,
+		NoCache:      *noCache,
+		Cache: plancache.Config{
+			MaxEntries: *cacheEntries,
+			MaxBytes:   *cacheBytes,
+			Epsilon:    *cacheEps,
+		},
+		JobWorkers:   *jobWorkers,
+		JobQueue:     *jobQueue,
+		JobRetention: *jobRetention,
+	}
+	h, apiServer := handler(logger, reg, opts, *withPprof)
+	defer apiServer.Close()
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           handler(logger, reg, *withPprof),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -98,9 +134,11 @@ var startTime = time.Now()
 // handler is the full recod middleware chain: access logging outermost, so
 // recovered panics are logged as 500s, then panic recovery, then the
 // routing mux — operational endpoints (health, metrics, optional pprof)
-// beside the instrumented API.
-func handler(logger *log.Logger, reg *obs.Registry, withPprof bool) http.Handler {
-	apiHandler, _ := api.NewInstrumentedHandlerOn(reg)
+// beside the instrumented API. The returned api.Server owns the plan cache
+// and job pool; the caller closes it after the HTTP server drains.
+func handler(logger *log.Logger, reg *obs.Registry, opts api.Options, withPprof bool) (http.Handler, *api.Server) {
+	apiServer := api.NewServer(opts)
+	apiHandler, _ := apiServer.InstrumentedHandlerOn(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/", apiHandler)
 	mux.HandleFunc("/healthz", handleHealthz)
@@ -113,7 +151,7 @@ func handler(logger *log.Logger, reg *obs.Registry, withPprof bool) http.Handler
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return logRequests(logger, recoverPanics(logger, mux))
+	return logRequests(logger, recoverPanics(logger, mux)), apiServer
 }
 
 // handleHealthz is the process-level liveness endpoint: uptime and the Go

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"reco/internal/api"
 	"reco/internal/obs"
 )
 
@@ -65,7 +66,9 @@ func TestRecoverPanicsReturnsJSON500(t *testing.T) {
 // recovery middleware.
 func TestHandlerServesAPIAfterPanic(t *testing.T) {
 	logger := log.New(io.Discard, "", 0)
-	srv := httptest.NewServer(handler(logger, obs.NewRegistry(), false))
+	h, apiSrv := handler(logger, obs.NewRegistry(), api.Options{}, false)
+	defer apiSrv.Close()
+	srv := httptest.NewServer(h)
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/v1/healthz")
@@ -115,7 +118,9 @@ func TestOperationalEndpoints(t *testing.T) {
 	// main attaches the sink; the test stands in for it so pipeline
 	// metrics emitted while serving land in the same registry.
 	obs.Attach(&obs.Sink{Metrics: reg})
-	srv := httptest.NewServer(handler(logger, reg, false))
+	h, apiSrv := handler(logger, reg, api.Options{}, false)
+	defer apiSrv.Close()
+	srv := httptest.NewServer(h)
 	defer srv.Close()
 
 	hz, err := http.Get(srv.URL + "/healthz")
@@ -187,7 +192,9 @@ func TestOperationalEndpoints(t *testing.T) {
 func TestPprofGating(t *testing.T) {
 	logger := log.New(io.Discard, "", 0)
 
-	off := httptest.NewServer(handler(logger, obs.NewRegistry(), false))
+	offH, offSrv := handler(logger, obs.NewRegistry(), api.Options{}, false)
+	defer offSrv.Close()
+	off := httptest.NewServer(offH)
 	defer off.Close()
 	resp, err := http.Get(off.URL + "/debug/pprof/")
 	if err != nil {
@@ -198,7 +205,9 @@ func TestPprofGating(t *testing.T) {
 		t.Error("pprof served without -pprof")
 	}
 
-	on := httptest.NewServer(handler(logger, obs.NewRegistry(), true))
+	onH, onSrv := handler(logger, obs.NewRegistry(), api.Options{}, true)
+	defer onSrv.Close()
+	on := httptest.NewServer(onH)
 	defer on.Close()
 	resp, err = http.Get(on.URL + "/debug/pprof/")
 	if err != nil {

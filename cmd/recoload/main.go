@@ -1,0 +1,512 @@
+// Command recoload is a seeded closed-loop load generator for the recod
+// scheduling service. Every worker drives one request at a time (closed
+// loop), drawing demand matrices from a pre-generated seeded pool; the
+// -reuse ratio controls how often a request repeats a matrix the service
+// has already seen, which is what exercises the plan cache.
+//
+//	recoload -server http://127.0.0.1:8372 -concurrency 8 -duration 10s -reuse 0.9
+//	recoload -inprocess -duration 2s -mix single=0.8,multi=0.2
+//
+// With -inprocess, recoload starts an in-process recod-equivalent server
+// (the same api handler chain, plan cache, and /metrics.json registry) and
+// drives it over a real HTTP loopback listener, so the harness works in CI
+// without a daemon.
+//
+// The run report — latency quantiles and throughput per request kind, plus
+// the server's plan-cache counters scraped from /metrics.json — is written
+// to stdout as JSON. With -bench, a []benchRecord file in the same schema
+// recobench emits is written (merging with an existing file by record
+// name), so cache regressions are caught with `recobench -compare`:
+//
+//	recoload -inprocess -duration 2s -bench new.json
+//	recobench -compare BENCH_recoload.json new.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reco/internal/api"
+	"reco/internal/obs"
+	"reco/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// config carries the parsed flag set; it is echoed into the report so a
+// result file is self-describing.
+type config struct {
+	Server      string        `json:"server,omitempty"`
+	InProcess   bool          `json:"inprocess"`
+	NoCache     bool          `json:"nocache,omitempty"`
+	Concurrency int           `json:"concurrency"`
+	Duration    time.Duration `json:"-"`
+	DurationStr string        `json:"duration"`
+	Seed        int64         `json:"seed"`
+	Reuse       float64       `json:"reuse"`
+	Mix         string        `json:"mix"`
+	Alg         string        `json:"alg,omitempty"`
+	N           int           `json:"n"`
+	Coflows     int           `json:"coflows"`
+	Delta       int64         `json:"delta"`
+	C           int64         `json:"c"`
+	Label       string        `json:"label"`
+}
+
+// opStats summarizes one request kind's latency samples.
+type opStats struct {
+	Count      int64   `json:"count"`
+	Errors     int64   `json:"errors"`
+	MeanNs     float64 `json:"mean_ns"`
+	P50Ns      float64 `json:"p50_ns"`
+	P95Ns      float64 `json:"p95_ns"`
+	P99Ns      float64 `json:"p99_ns"`
+	MaxNs      float64 `json:"max_ns"`
+	Throughput float64 `json:"throughput_rps"`
+}
+
+// report is the run's JSON output.
+type report struct {
+	Config          config             `json:"config"`
+	DurationSeconds float64            `json:"duration_seconds"`
+	TotalRequests   int64              `json:"total_requests"`
+	TotalErrors     int64              `json:"total_errors"`
+	ThroughputRPS   float64            `json:"throughput_rps"`
+	Ops             map[string]opStats `json:"ops"`
+	Metrics         map[string]any     `json:"metrics,omitempty"`
+}
+
+// benchRecord mirrors the recobench result schema so recoload output feeds
+// `recobench -compare` unchanged.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Workers     int     `json:"workers"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("recoload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.StringVar(&cfg.Server, "server", "", "recod base URL (mutually exclusive with -inprocess)")
+	fs.BoolVar(&cfg.InProcess, "inprocess", false, "start an in-process server and drive it over loopback")
+	fs.BoolVar(&cfg.NoCache, "no-cache", false, "inprocess: disable the plan cache (cold baseline)")
+	fs.IntVar(&cfg.Concurrency, "concurrency", 8, "closed-loop workers")
+	fs.DurationVar(&cfg.Duration, "duration", 5*time.Second, "run length")
+	fs.Int64Var(&cfg.Seed, "seed", 1, "seed for the matrix pool and request stream")
+	fs.Float64Var(&cfg.Reuse, "reuse", 0.9, "probability a request reuses a pool matrix (cache-hittable)")
+	fs.StringVar(&cfg.Mix, "mix", "single=1", `request mix, e.g. "single=0.8,multi=0.2"`)
+	fs.StringVar(&cfg.Alg, "alg", "", "algorithm name (empty: the endpoint default)")
+	fs.IntVar(&cfg.N, "n", 12, "fabric ports for generated matrices")
+	fs.IntVar(&cfg.Coflows, "coflows", 16, "matrix pool size")
+	fs.Int64Var(&cfg.Delta, "delta", 100, "reconfiguration delay in ticks")
+	fs.Int64Var(&cfg.C, "c", 4, "optical transmission threshold (multi)")
+	fs.StringVar(&cfg.Label, "label", "", "bench record label (default: reuse<ratio>, plus -nocache)")
+	benchPath := fs.String("bench", "", "write/merge recobench-schema records to this file")
+	outPath := fs.String("out", "", "also write the report to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg.DurationStr = cfg.Duration.String()
+	if cfg.Label == "" {
+		cfg.Label = fmt.Sprintf("reuse%.2f", cfg.Reuse)
+		if cfg.NoCache {
+			cfg.Label += "-nocache"
+		}
+	}
+
+	mix, err := parseMix(cfg.Mix)
+	if err != nil {
+		fmt.Fprintf(stderr, "recoload: %v\n", err)
+		return 2
+	}
+	if (cfg.Server == "") == !cfg.InProcess {
+		fmt.Fprintln(stderr, "recoload: need exactly one of -server or -inprocess")
+		return 2
+	}
+	if cfg.Concurrency < 1 || cfg.Duration <= 0 || cfg.Reuse < 0 || cfg.Reuse > 1 {
+		fmt.Fprintln(stderr, "recoload: need -concurrency >= 1, -duration > 0, -reuse in [0,1]")
+		return 2
+	}
+
+	base := cfg.Server
+	if cfg.InProcess {
+		srv, err := startInProcess(cfg.NoCache)
+		if err != nil {
+			fmt.Fprintf(stderr, "recoload: starting in-process server: %v\n", err)
+			return 1
+		}
+		defer srv.stop()
+		base = srv.url
+	}
+
+	pool, err := buildPool(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "recoload: generating matrix pool: %v\n", err)
+		return 1
+	}
+
+	rep, err := drive(base, cfg, mix, pool)
+	if err != nil {
+		fmt.Fprintf(stderr, "recoload: %v\n", err)
+		return 1
+	}
+	rep.Metrics = scrapeMetrics(base)
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(stderr, "recoload: encoding report: %v\n", err)
+		return 1
+	}
+	if *outPath != "" {
+		if err := writeFileJSON(*outPath, rep); err != nil {
+			fmt.Fprintf(stderr, "recoload: %v\n", err)
+			return 1
+		}
+	}
+	if *benchPath != "" {
+		if err := mergeBench(*benchPath, rep.toBench()); err != nil {
+			fmt.Fprintf(stderr, "recoload: %v\n", err)
+			return 1
+		}
+	}
+	if rep.TotalRequests == 0 {
+		fmt.Fprintln(stderr, "recoload: no requests completed")
+		return 1
+	}
+	if rep.TotalErrors > 0 {
+		fmt.Fprintf(stderr, "recoload: %d request(s) failed\n", rep.TotalErrors)
+		return 1
+	}
+	return 0
+}
+
+// parseMix parses "single=0.8,multi=0.2" into normalized weights.
+func parseMix(s string) (map[string]float64, error) {
+	mix := make(map[string]float64)
+	total := 0.0
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("mix %q: want kind=weight pairs", s)
+		}
+		if k != "single" && k != "multi" {
+			return nil, fmt.Errorf("mix %q: unknown kind %q", s, k)
+		}
+		w, err := strconv.ParseFloat(v, 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix %q: bad weight %q", s, v)
+		}
+		mix[k] += w
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("mix %q: weights sum to zero", s)
+	}
+	for k := range mix {
+		mix[k] /= total
+	}
+	return mix, nil
+}
+
+// buildPool pre-generates the seeded demand-matrix pool requests draw from.
+func buildPool(cfg config) ([][][]int64, error) {
+	cfs, err := workload.Generate(workload.GenConfig{
+		N: cfg.N, NumCoflows: cfg.Coflows, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool := make([][][]int64, len(cfs))
+	for i, cf := range cfs {
+		n := cf.Demand.N()
+		rows := make([][]int64, n)
+		for r := 0; r < n; r++ {
+			row := make([]int64, n)
+			for c := 0; c < n; c++ {
+				row[c] = cf.Demand.At(r, c)
+			}
+			rows[r] = row
+		}
+		pool[i] = rows
+	}
+	return pool, nil
+}
+
+// uniqueSalt feeds never-repeating demand perturbations, so a "fresh"
+// request is guaranteed to miss the cache.
+var uniqueSalt atomic.Int64
+
+// perturb clones rows with one cell bumped by a unique amount, preserving
+// validity (non-negative, same shape) while changing the fingerprint.
+func perturb(rows [][]int64) [][]int64 {
+	out := make([][]int64, len(rows))
+	for i, row := range rows {
+		out[i] = append([]int64(nil), row...)
+	}
+	salt := uniqueSalt.Add(1)
+	n := int64(len(out))
+	i := salt % n
+	j := (salt/n + 1) % n
+	out[i][j] += salt
+	return out
+}
+
+// sample is one request's outcome.
+type sample struct {
+	kind string
+	ns   int64
+	err  bool
+}
+
+// drive runs the closed loop and aggregates the report.
+func drive(base string, cfg config, mix map[string]float64, pool [][][]int64) (*report, error) {
+	client := api.NewClient(base, &http.Client{Timeout: 5 * time.Minute})
+	if err := client.Healthz(context.Background()); err != nil {
+		return nil, fmt.Errorf("server not healthy: %w", err)
+	}
+	pSingle := mix["single"]
+
+	results := make([][]sample, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Distinct deterministic stream per worker; large stride keeps
+			// the streams from overlapping in practice.
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			var out []sample
+			for time.Now().Before(deadline) {
+				kind := "multi"
+				if rng.Float64() < pSingle {
+					kind = "single"
+				}
+				pick := func() [][]int64 {
+					rows := pool[rng.Intn(len(pool))]
+					if rng.Float64() >= cfg.Reuse {
+						rows = perturb(rows)
+					}
+					return rows
+				}
+				var err error
+				t0 := time.Now()
+				if kind == "single" {
+					_, err = client.ScheduleSingle(context.Background(),
+						api.SingleRequest{Demand: pick(), Delta: cfg.Delta, Algorithm: cfg.Alg})
+				} else {
+					_, err = client.ScheduleMulti(context.Background(),
+						api.MultiRequest{Demands: [][][]int64{pick(), pick()}, Delta: cfg.Delta, C: cfg.C, Algorithm: cfg.Alg})
+				}
+				out = append(out, sample{kind: kind, ns: time.Since(t0).Nanoseconds(), err: err != nil})
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	byKind := make(map[string][]int64)
+	errs := make(map[string]int64)
+	for _, rs := range results {
+		for _, s := range rs {
+			if s.err {
+				errs[s.kind]++
+				continue
+			}
+			byKind[s.kind] = append(byKind[s.kind], s.ns)
+		}
+	}
+	rep := &report{
+		Config:          cfg,
+		DurationSeconds: elapsed.Seconds(),
+		Ops:             make(map[string]opStats),
+	}
+	for kind, ns := range byKind {
+		st := summarize(ns, elapsed)
+		st.Errors = errs[kind]
+		rep.Ops[kind] = st
+		rep.TotalRequests += st.Count
+		rep.TotalErrors += st.Errors
+	}
+	for kind, n := range errs {
+		if _, ok := byKind[kind]; !ok {
+			rep.Ops[kind] = opStats{Errors: n}
+			rep.TotalErrors += n
+		}
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.TotalRequests) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// summarize computes exact (sample-sorted, not histogram-bucketed)
+// latency quantiles.
+func summarize(ns []int64, elapsed time.Duration) opStats {
+	sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
+	st := opStats{Count: int64(len(ns))}
+	if len(ns) == 0 {
+		return st
+	}
+	var sum int64
+	for _, v := range ns {
+		sum += v
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(len(ns)-1))
+		return float64(ns[i])
+	}
+	st.MeanNs = float64(sum) / float64(len(ns))
+	st.P50Ns = q(0.50)
+	st.P95Ns = q(0.95)
+	st.P99Ns = q(0.99)
+	st.MaxNs = float64(ns[len(ns)-1])
+	if elapsed > 0 {
+		st.Throughput = float64(len(ns)) / elapsed.Seconds()
+	}
+	return st
+}
+
+// toBench renders the report as recobench-schema records, one per request
+// kind, named recoload/<kind>/<label> with p50 latency as ns/op.
+func (r *report) toBench() []benchRecord {
+	kinds := make([]string, 0, len(r.Ops))
+	for k := range r.Ops {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	recs := make([]benchRecord, 0, len(kinds))
+	for _, k := range kinds {
+		st := r.Ops[k]
+		if st.Count == 0 {
+			continue
+		}
+		recs = append(recs, benchRecord{
+			Name:    fmt.Sprintf("recoload/%s/%s", k, r.Config.Label),
+			NsPerOp: st.P50Ns,
+			Workers: r.Config.Concurrency,
+		})
+	}
+	return recs
+}
+
+// mergeBench writes recs into path, replacing same-name records in an
+// existing file so warm and cold runs can accumulate into one baseline.
+func mergeBench(path string, recs []benchRecord) error {
+	var existing []benchRecord
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &existing); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	byName := make(map[string]int, len(existing))
+	for i, r := range existing {
+		byName[r.Name] = i
+	}
+	for _, r := range recs {
+		if i, ok := byName[r.Name]; ok {
+			existing[i] = r
+		} else {
+			existing = append(existing, r)
+		}
+	}
+	sort.Slice(existing, func(a, b int) bool { return existing[a].Name < existing[b].Name })
+	return writeFileJSON(path, existing)
+}
+
+func writeFileJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// scrapeMetrics pulls /metrics.json and keeps the serving-stack series
+// (plan cache, coalescing, jobs, pool) for the report. Best-effort: an
+// external server without the endpoint just yields no metrics.
+func scrapeMetrics(base string) map[string]any {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/metrics.json")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var all map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		return nil
+	}
+	out := make(map[string]any)
+	for k, v := range all {
+		for _, prefix := range []string{"plancache_", "jobs_", "pool_"} {
+			if strings.HasPrefix(k, prefix) {
+				out[k] = v
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// inProcessServer is the -inprocess recod stand-in: the real api handler
+// chain with the plan cache, plus the /metrics.json registry export, on a
+// loopback listener.
+type inProcessServer struct {
+	url  string
+	stop func()
+}
+
+func startInProcess(noCache bool) (*inProcessServer, error) {
+	reg := obs.NewRegistry()
+	obs.Attach(&obs.Sink{Metrics: reg})
+
+	apiServer := api.NewServer(api.Options{NoCache: noCache})
+	h, _ := apiServer.InstrumentedHandlerOn(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.Handle("/metrics.json", reg.JSONHandler())
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		obs.Detach()
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &inProcessServer{
+		url: "http://" + ln.Addr().String(),
+		stop: func() {
+			_ = srv.Close()
+			apiServer.Close()
+			obs.Detach()
+		},
+	}, nil
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestInProcessRun drives a short closed loop against the in-process
+// server and checks the report and bench-record shapes end to end.
+func TestInProcessRun(t *testing.T) {
+	bench := filepath.Join(t.TempDir(), "bench.json")
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-inprocess", "-duration", "300ms", "-concurrency", "4",
+		"-n", "8", "-coflows", "4", "-reuse", "0.9",
+		"-mix", "single=0.8,multi=0.2", "-bench", bench,
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("decoding report: %v", err)
+	}
+	if rep.TotalRequests == 0 || rep.TotalErrors != 0 || rep.ThroughputRPS <= 0 {
+		t.Fatalf("report totals: %+v", rep)
+	}
+	single, ok := rep.Ops["single"]
+	if !ok || single.Count == 0 || single.P50Ns <= 0 || single.P99Ns < single.P50Ns {
+		t.Errorf("single op stats: %+v", single)
+	}
+	hits, ok := rep.Metrics["plancache_hits_total"].(float64)
+	if !ok || hits == 0 {
+		t.Errorf("report did not scrape cache hits: %v", rep.Metrics)
+	}
+
+	data, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatalf("bench file: %v", err)
+	}
+	var recs []benchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("bench file is not recobench-schema: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("bench file is empty")
+	}
+	for _, r := range recs {
+		if r.Name == "" || r.NsPerOp <= 0 || r.Workers != 4 {
+			t.Errorf("bench record: %+v", r)
+		}
+	}
+}
+
+// TestBenchMergeReplacesByName: re-running with the same label updates
+// records in place instead of appending duplicates.
+func TestBenchMergeReplacesByName(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := mergeBench(path, []benchRecord{{Name: "recoload/single/x", NsPerOp: 100, Workers: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeBench(path, []benchRecord{
+		{Name: "recoload/single/x", NsPerOp: 50, Workers: 2},
+		{Name: "recoload/multi/x", NsPerOp: 200, Workers: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	var recs []benchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (replace, not append): %+v", len(recs), recs)
+	}
+	for _, r := range recs {
+		if r.Name == "recoload/single/x" && r.NsPerOp != 50 {
+			t.Errorf("record not replaced: %+v", r)
+		}
+	}
+}
+
+// TestParseMix covers the request-mix grammar.
+func TestParseMix(t *testing.T) {
+	good := map[string]map[string]float64{
+		"single=1":              {"single": 1},
+		"single=0.8,multi=0.2":  {"single": 0.8, "multi": 0.2},
+		"single=3, multi=1":     {"single": 0.75, "multi": 0.25},
+		"single=0.5,single=0.5": {"single": 1},
+		"multi=2":               {"multi": 1},
+	}
+	for in, want := range good {
+		got, err := parseMix(in)
+		if err != nil {
+			t.Errorf("parseMix(%q): %v", in, err)
+			continue
+		}
+		for k, w := range want {
+			if diff := got[k] - w; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("parseMix(%q)[%s] = %v, want %v", in, k, got[k], w)
+			}
+		}
+	}
+	for _, in := range []string{"", "single", "bogus=1", "single=-1", "single=0", "single=x"} {
+		if _, err := parseMix(in); err == nil {
+			t.Errorf("parseMix(%q) accepted", in)
+		}
+	}
+}
+
+// TestBadInvocations exercises flag validation exits.
+func TestBadInvocations(t *testing.T) {
+	cases := [][]string{
+		{},                                    // neither -server nor -inprocess
+		{"-server", "http://x", "-inprocess"}, // both
+		{"-inprocess", "-concurrency", "0"},
+		{"-inprocess", "-reuse", "1.5"},
+		{"-inprocess", "-mix", "bogus=1"},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code != 2 {
+			t.Errorf("run(%v) exit %d, want 2", args, code)
+		}
+	}
+}

@@ -2,9 +2,17 @@
 // scheduling API that a datacenter controller can call to turn coflow
 // demand matrices into OCS circuit schedules, plus the matching Go client.
 // cmd/recod wraps the server with lifecycle management.
+//
+// The serving hot path is multi-tenant aware: every schedule computation
+// runs behind a plan cache keyed by a canonical fingerprint of the request
+// (see internal/plancache) with singleflight coalescing, so repeated and
+// concurrent-identical requests cost one solve instead of N. Large
+// instances can use the async job API (POST /v1/jobs) instead of holding an
+// HTTP connection open.
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,13 +23,14 @@ import (
 	"reco/internal/core"
 	"reco/internal/matrix"
 	"reco/internal/ocs"
+	"reco/internal/plancache"
 	"reco/internal/schedule"
 	"reco/internal/workload"
 )
 
-// maxBodyBytes caps request bodies; a 512-port fabric's matrix in JSON is
-// well within this.
-const maxBodyBytes = 64 << 20
+// DefaultMaxBodyBytes caps request bodies when Options.MaxBodyBytes is
+// zero; a 512-port fabric's matrix in JSON is well within this.
+const DefaultMaxBodyBytes = 64 << 20
 
 // defaultC is the transmission threshold supplied to schedulers invoked
 // through the single-coflow endpoint, whose request shape predates the
@@ -29,6 +38,85 @@ const maxBodyBytes = 64 << 20
 // hybrid scheduler's elephant threshold (c·delta) and matches recosim's
 // default -c.
 const defaultC = 4
+
+// Options configures a Server. The zero value serves with a default-sized
+// plan cache, coalescing, a lazily started job pool and the default body
+// cap.
+type Options struct {
+	// MaxBodyBytes caps request bodies; exceeding it returns a structured
+	// 413. Zero means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// NoCache disables the plan cache and request coalescing, recomputing
+	// every schedule. Differential tests and cold-cache load runs use this.
+	NoCache bool
+	// Cache sizes the plan cache (zero-value fields take plancache
+	// defaults). Cache.Epsilon > 0 opts into ε-quantized keys.
+	Cache plancache.Config
+	// JobWorkers bounds the async job pool (0: RECO_WORKERS or GOMAXPROCS).
+	JobWorkers int
+	// JobQueue bounds queued-but-not-running jobs; submits beyond it get a
+	// 503. Zero means 256.
+	JobQueue int
+	// JobRetention caps finished jobs retained for status queries; the
+	// oldest finished jobs are dropped first. Zero means 1024.
+	JobRetention int
+}
+
+// Server is one API instance: handlers plus the per-instance serving state
+// (plan cache, coalescing group, async job manager).
+type Server struct {
+	opts  Options
+	group *plancache.Group // nil when Options.NoCache
+	jobs  *jobManager
+}
+
+// NewServer returns a Server over opts. Close releases the job pool.
+func NewServer(opts Options) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if opts.JobQueue <= 0 {
+		opts.JobQueue = 256
+	}
+	if opts.JobRetention <= 0 {
+		opts.JobRetention = 1024
+	}
+	s := &Server{opts: opts}
+	if !opts.NoCache {
+		s.group = plancache.NewGroup(plancache.New(opts.Cache))
+	}
+	s.jobs = newJobManager(opts.JobWorkers, opts.JobQueue, opts.JobRetention)
+	return s
+}
+
+// Close stops the async job pool, waiting for running jobs to finish.
+// In-flight synchronous requests are unaffected.
+func (s *Server) Close() {
+	s.jobs.close()
+}
+
+// Cache returns the server's plan cache, or nil when caching is disabled.
+func (s *Server) Cache() *plancache.Cache {
+	return s.group.Cache()
+}
+
+// schedule is the one scheduling path every consumer goes through — the
+// synchronous endpoints and the async job workers alike. It resolves the
+// algorithm, then answers from the plan cache, joins an in-flight identical
+// computation, or computes (and caches) the result.
+func (s *Server) schedule(ctx context.Context, name string, req algo.Request) (*algo.Result, error) {
+	sched, err := algo.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if s.group == nil {
+		return sched.Schedule(ctx, req)
+	}
+	res, _, err := s.group.Do(ctx, s.group.Cache().Key(name, req), func(ctx context.Context) (*algo.Result, error) {
+		return sched.Schedule(ctx, req)
+	})
+	return res, err
+}
 
 // SingleRequest asks for a schedule of one coflow.
 type SingleRequest struct {
@@ -40,6 +128,19 @@ type SingleRequest struct {
 	// them); empty means Reco-Sin, the historical behavior of this
 	// endpoint.
 	Algorithm string `json:"algorithm,omitempty"`
+}
+
+// toAlgo validates the request into the registry shape.
+func (r SingleRequest) toAlgo() (string, algo.Request, error) {
+	d, err := matrix.FromRows(r.Demand)
+	if err != nil {
+		return "", algo.Request{}, fmt.Errorf("demand: %w", err)
+	}
+	name := r.Algorithm
+	if name == "" {
+		name = algo.NameRecoSin
+	}
+	return name, algo.Request{Demands: []*matrix.Matrix{d}, Delta: r.Delta, C: defaultC}, nil
 }
 
 // Assignment mirrors ocs.Assignment for the wire.
@@ -56,6 +157,25 @@ type SingleResponse struct {
 	LowerBound int64        `json:"lowerBound"`
 }
 
+// renderSingle shapes a registry result for the single-coflow wire format.
+func renderSingle(req algo.Request, res *algo.Result) SingleResponse {
+	resp := SingleResponse{
+		Schedule:   []Assignment{},
+		CCT:        res.CCTs[0],
+		Reconfigs:  res.Reconfigs,
+		LowerBound: ocs.LowerBound(req.Demands[0], req.Delta),
+	}
+	// Circuit-schedule algorithms expose their establishments; pipeline
+	// algorithms (reco-mul, lp-ii-gb, ...) report flow-level output only.
+	if len(res.Schedules) == 1 {
+		resp.Schedule = make([]Assignment, len(res.Schedules[0]))
+		for i, a := range res.Schedules[0] {
+			resp.Schedule[i] = Assignment{Perm: a.Perm, Dur: a.Dur}
+		}
+	}
+	return resp
+}
+
 // MultiRequest asks for a schedule of a coflow batch.
 type MultiRequest struct {
 	Demands [][][]int64 `json:"demands"`
@@ -66,6 +186,26 @@ type MultiRequest struct {
 	// them); empty means Reco-Mul, the historical behavior of this
 	// endpoint. The scheduler must support multi-coflow batches.
 	Algorithm string `json:"algorithm,omitempty"`
+}
+
+// toAlgo validates the request into the registry shape.
+func (r MultiRequest) toAlgo() (string, algo.Request, error) {
+	if len(r.Demands) == 0 {
+		return "", algo.Request{}, errors.New("no demand matrices")
+	}
+	ds := make([]*matrix.Matrix, len(r.Demands))
+	for k, rows := range r.Demands {
+		d, err := matrix.FromRows(rows)
+		if err != nil {
+			return "", algo.Request{}, fmt.Errorf("demand %d: %w", k, err)
+		}
+		ds[k] = d
+	}
+	name := r.Algorithm
+	if name == "" {
+		name = algo.NameRecoMul
+	}
+	return name, algo.Request{Demands: ds, Weights: r.Weights, Delta: r.Delta, C: r.C}, nil
 }
 
 // Flow mirrors schedule.FlowInterval for the wire.
@@ -83,6 +223,15 @@ type MultiResponse struct {
 	Flows     []Flow  `json:"flows"`
 	CCTs      []int64 `json:"ccts"`
 	Reconfigs int     `json:"reconfigs"`
+}
+
+// renderMulti shapes a registry result for the batch wire format.
+func renderMulti(res *algo.Result) MultiResponse {
+	return MultiResponse{
+		Flows:     flowsToWire(res.Flows),
+		CCTs:      res.CCTs,
+		Reconfigs: res.Reconfigs,
+	}
 }
 
 // WorkloadRequest asks for a synthetic workload.
@@ -123,21 +272,36 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// NewHandler returns the API's HTTP handler:
+// Handler returns the server's HTTP handler:
 //
 //	GET  /v1/healthz
 //	GET  /v1/algorithms
 //	POST /v1/schedule/single
 //	POST /v1/schedule/multi
 //	POST /v1/workload/generate
-func NewHandler() http.Handler {
+//	POST /v1/jobs
+//	GET  /v1/jobs
+//	GET  /v1/jobs/{id}
+//	POST /v1/jobs/{id}/cancel
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", handleHealthz)
 	mux.HandleFunc("/v1/algorithms", handleAlgorithms)
-	mux.HandleFunc("/v1/schedule/single", handleSingle)
-	mux.HandleFunc("/v1/schedule/multi", handleMulti)
-	mux.HandleFunc("/v1/workload/generate", handleWorkload)
+	mux.HandleFunc("/v1/schedule/single", s.handleSingle)
+	mux.HandleFunc("/v1/schedule/multi", s.handleMulti)
+	mux.HandleFunc("/v1/workload/generate", s.handleWorkload)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	return mux
+}
+
+// NewHandler returns a default-options API handler. The job pool it may
+// lazily start lives for the remaining process lifetime; servers that want
+// a bounded lifecycle use NewServer and Close.
+func NewHandler() http.Handler {
+	return NewServer(Options{}).Handler()
 }
 
 func handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -154,11 +318,11 @@ func handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp AlgorithmsResponse
-	for _, s := range algo.All() {
-		c := s.Caps()
+	for _, sched := range algo.All() {
+		c := sched.Caps()
 		resp.Algorithms = append(resp.Algorithms, AlgorithmInfo{
-			Name:        s.Name(),
-			Description: s.Describe(),
+			Name:        sched.Name(),
+			Description: sched.Describe(),
 			Capabilities: Capabilities{
 				SingleCoflow: c.SingleCoflow,
 				MultiCoflow:  c.MultiCoflow,
@@ -170,94 +334,45 @@ func handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func handleSingle(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSingle(w http.ResponseWriter, r *http.Request) {
 	var req SingleRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
-	d, err := matrix.FromRows(req.Demand)
+	name, areq, err := req.toAlgo()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("demand: %v", err))
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	name := req.Algorithm
-	if name == "" {
-		name = algo.NameRecoSin
-	}
-	sched, err := algo.Get(name)
+	res, err := s.schedule(r.Context(), name, areq)
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
-	res, err := sched.Schedule(r.Context(), algo.Request{
-		Demands: []*matrix.Matrix{d}, Delta: req.Delta, C: defaultC,
-	})
-	if err != nil {
-		writeError(w, statusFor(err), err.Error())
-		return
-	}
-	resp := SingleResponse{
-		Schedule:   []Assignment{},
-		CCT:        res.CCTs[0],
-		Reconfigs:  res.Reconfigs,
-		LowerBound: ocs.LowerBound(d, req.Delta),
-	}
-	// Circuit-schedule algorithms expose their establishments; pipeline
-	// algorithms (reco-mul, lp-ii-gb, ...) report flow-level output only.
-	if len(res.Schedules) == 1 {
-		resp.Schedule = make([]Assignment, len(res.Schedules[0]))
-		for i, a := range res.Schedules[0] {
-			resp.Schedule[i] = Assignment{Perm: a.Perm, Dur: a.Dur}
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, renderSingle(areq, res))
 }
 
-func handleMulti(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) {
 	var req MultiRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
-	if len(req.Demands) == 0 {
-		writeError(w, http.StatusBadRequest, "no demand matrices")
+	name, areq, err := req.toAlgo()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ds := make([]*matrix.Matrix, len(req.Demands))
-	for k, rows := range req.Demands {
-		d, err := matrix.FromRows(rows)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("demand %d: %v", k, err))
-			return
-		}
-		ds[k] = d
-	}
-	name := req.Algorithm
-	if name == "" {
-		name = algo.NameRecoMul
-	}
-	sched, err := algo.Get(name)
+	res, err := s.schedule(r.Context(), name, areq)
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
-	res, err := sched.Schedule(r.Context(), algo.Request{
-		Demands: ds, Weights: req.Weights, Delta: req.Delta, C: req.C,
-	})
-	if err != nil {
-		writeError(w, statusFor(err), err.Error())
-		return
-	}
-	resp := MultiResponse{
-		Flows:     flowsToWire(res.Flows),
-		CCTs:      res.CCTs,
-		Reconfigs: res.Reconfigs,
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, renderMulti(res))
 }
 
-func handleWorkload(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	var req WorkloadRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	coflows, err := workload.Generate(workload.GenConfig{
@@ -284,15 +399,21 @@ func handleWorkload(w http.ResponseWriter, r *http.Request) {
 }
 
 // readJSON decodes a POST body into dst, writing the error response itself
-// on failure.
-func readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+// on failure. Bodies beyond the server's MaxBodyBytes get a structured 413.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
 		return false
 	}

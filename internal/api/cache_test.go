@@ -1,0 +1,240 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"reco/internal/algo"
+	"reco/internal/obs"
+)
+
+// postRaw POSTs body and returns (status, response bytes).
+func postRaw(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestCachedResponsesByteIdentical is the differential test for the plan
+// cache: for every registry algorithm, the cache-miss response, the
+// cache-hit response, and an uncached server's response must be
+// byte-identical.
+func TestCachedResponsesByteIdentical(t *testing.T) {
+	ensureTestBlock()
+	reg := obs.NewRegistry()
+	obs.Attach(&obs.Sink{Metrics: reg})
+	defer obs.Detach()
+
+	cached := NewServer(Options{})
+	cachedSrv := httptest.NewServer(cached.Handler())
+	defer func() { cachedSrv.Close(); cached.Close() }()
+	plain := NewServer(Options{NoCache: true})
+	plainSrv := httptest.NewServer(plain.Handler())
+	defer func() { plainSrv.Close(); plain.Close() }()
+
+	for _, s := range algo.All() {
+		name := s.Name()
+		if strings.HasPrefix(name, "test-") {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			var path string
+			var body []byte
+			var err error
+			switch caps := s.Caps(); {
+			case caps.SingleCoflow:
+				path = "/v1/schedule/single"
+				body, err = json.Marshal(SingleRequest{Demand: jobDemand, Delta: 100, Algorithm: name})
+			case caps.MultiCoflow:
+				path = "/v1/schedule/multi"
+				body, err = json.Marshal(MultiRequest{
+					Demands: [][][]int64{jobDemand, jobDemand}, Delta: 100, C: 4, Algorithm: name,
+				})
+			default:
+				t.Skipf("%s schedules neither single nor multi", name)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			hitsBefore := reg.Counter("plancache_hits_total").Value()
+			missStatus, missBody := postRaw(t, cachedSrv.URL+path, body)
+			hitStatus, hitBody := postRaw(t, cachedSrv.URL+path, body)
+			plainStatus, plainBody := postRaw(t, plainSrv.URL+path, body)
+			if missStatus != http.StatusOK || hitStatus != http.StatusOK || plainStatus != http.StatusOK {
+				t.Fatalf("statuses: miss=%d hit=%d uncached=%d", missStatus, hitStatus, plainStatus)
+			}
+			if !bytes.Equal(missBody, hitBody) {
+				t.Errorf("cache-hit response differs from cache-miss:\nmiss: %s\nhit:  %s", missBody, hitBody)
+			}
+			if !bytes.Equal(missBody, plainBody) {
+				t.Errorf("cached response differs from uncached:\ncached:   %s\nuncached: %s", missBody, plainBody)
+			}
+			if got := reg.Counter("plancache_hits_total").Value() - hitsBefore; got != 1 {
+				t.Errorf("second request recorded %d cache hits, want 1", got)
+			}
+		})
+	}
+	if cached.Cache().Len() == 0 {
+		t.Error("cache is empty after the sweep")
+	}
+	if plain.Cache() != nil {
+		t.Error("NoCache server reports a cache")
+	}
+}
+
+// TestConcurrentIdenticalRequestsCoalesce drives N identical requests at
+// the HTTP layer while the scheduler is provably still computing, and
+// asserts the scheduler ran exactly once.
+func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
+	const n = 8
+	_, client := newJobTestServer(t, Options{})
+	release, started := testBlock.arm()
+	defer func() { release(); testBlock.disarm() }()
+
+	body, err := json.Marshal(SingleRequest{Demand: jobDemand, Delta: 100, Algorithm: "test-block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := client.base + "/v1/schedule/single"
+
+	type reply struct {
+		status int
+		body   []byte
+	}
+	replies := make(chan reply, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				replies <- reply{status: -1}
+				return
+			}
+			defer resp.Body.Close()
+			out, _ := io.ReadAll(resp.Body)
+			replies <- reply{resp.StatusCode, out}
+		}()
+	}
+	<-started // the one leader is inside Schedule; everyone else must join it
+	release()
+	wg.Wait()
+	close(replies)
+
+	var first []byte
+	for r := range replies {
+		if r.status != http.StatusOK {
+			t.Fatalf("request failed: status %d body %s", r.status, r.body)
+		}
+		if first == nil {
+			first = r.body
+		} else if !bytes.Equal(first, r.body) {
+			t.Errorf("coalesced responses differ:\n%s\n%s", first, r.body)
+		}
+	}
+	select {
+	case <-started:
+		t.Fatal("scheduler ran more than once for identical concurrent requests")
+	default:
+	}
+}
+
+// TestMaxBodyRejected checks the configurable request-size cap: an
+// oversized body draws a structured 413, a small one still works.
+func TestMaxBodyRejected(t *testing.T) {
+	s := NewServer(Options{MaxBodyBytes: 256})
+	srv := httptest.NewServer(s.Handler())
+	defer func() { srv.Close(); s.Close() }()
+
+	big, err := json.Marshal(SingleRequest{
+		Demand: [][]int64{
+			{101, 102, 103, 104, 105, 106, 107, 108},
+			{101, 102, 103, 104, 105, 106, 107, 108},
+			{101, 102, 103, 104, 105, 106, 107, 108},
+			{101, 102, 103, 104, 105, 106, 107, 108},
+			{101, 102, 103, 104, 105, 106, 107, 108},
+			{101, 102, 103, 104, 105, 106, 107, 108},
+			{101, 102, 103, 104, 105, 106, 107, 108},
+			{101, 102, 103, 104, 105, 106, 107, 108},
+		},
+		Delta: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big) <= 256 {
+		t.Fatalf("test body is only %d bytes; grow it", len(big))
+	}
+	status, body := postRaw(t, srv.URL+"/v1/schedule/single", big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413 (body %s)", status, body)
+	}
+	var apiErr errorResponse
+	if err := json.Unmarshal(body, &apiErr); err != nil {
+		t.Fatalf("413 body is not structured JSON: %v (%s)", err, body)
+	}
+	if !strings.Contains(apiErr.Error, "256") {
+		t.Errorf("413 error %q does not name the limit", apiErr.Error)
+	}
+
+	small, _ := json.Marshal(SingleRequest{Demand: jobDemand, Delta: 100})
+	if len(small) > 256 {
+		t.Fatalf("small body is %d bytes; shrink it", len(small))
+	}
+	if status, body := postRaw(t, srv.URL+"/v1/schedule/single", small); status != http.StatusOK {
+		t.Errorf("small body: status %d (%s)", status, body)
+	}
+}
+
+// TestCacheSharedAcrossEndpoints ensures the multi endpoint and the async
+// job path feed the same cache as the single endpoint: a job for a request
+// the sync endpoint already computed is a cache hit, and byte-identical.
+func TestCacheSharedAcrossEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.Attach(&obs.Sink{Metrics: reg})
+	defer obs.Detach()
+
+	_, client := newJobTestServer(t, Options{})
+	ctx := context.Background()
+	req := SingleRequest{Demand: jobDemand, Delta: 100}
+	sync, err := client.ScheduleSingle(ctx, req)
+	if err != nil {
+		t.Fatalf("ScheduleSingle: %v", err)
+	}
+	hitsBefore := reg.Counter("plancache_hits_total").Value()
+	info, err := client.SubmitJob(ctx, JobRequest{Kind: "single", Single: &req})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	final, err := client.WaitJob(ctx, info.ID, 0)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if final.State != JobDone || final.Single == nil {
+		t.Fatalf("final: %+v", final)
+	}
+	if got := reg.Counter("plancache_hits_total").Value() - hitsBefore; got != 1 {
+		t.Errorf("job after sync request recorded %d cache hits, want 1", got)
+	}
+	a, _ := json.Marshal(sync)
+	b, _ := json.Marshal(final.Single)
+	if !bytes.Equal(a, b) {
+		t.Errorf("job result differs from sync result:\n%s\n%s", a, b)
+	}
+}

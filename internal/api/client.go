@@ -141,17 +141,105 @@ func (c *Client) GenerateWorkload(ctx context.Context, req WorkloadRequest) (*Wo
 	return &resp, nil
 }
 
-func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
-	body, err := json.Marshal(in)
+// SubmitJob submits an async scheduling job; the returned info carries the
+// job id to poll with Job and the initial state.
+func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (*JobInfo, error) {
+	var info JobInfo
+	if err := c.postStatus(ctx, "/v1/jobs", http.StatusAccepted, req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Job fetches one job's current state (including results once terminal).
+func (c *Client) Job(ctx context.Context, id string) (*JobInfo, error) {
+	var info JobInfo
+	if err := c.get(ctx, "/v1/jobs/"+id, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Jobs lists the service's retained jobs in submission order.
+func (c *Client) Jobs(ctx context.Context) (*JobListResponse, error) {
+	var out JobListResponse
+	if err := c.get(ctx, "/v1/jobs", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CancelJob cancels a queued or running job and returns its state after
+// the cancellation request took effect.
+func (c *Client) CancelJob(ctx context.Context, id string) (*JobInfo, error) {
+	var info JobInfo
+	if err := c.postStatus(ctx, "/v1/jobs/"+id+"/cancel", http.StatusOK, nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// WaitJob polls a job until it reaches a terminal state, ctx ends, or the
+// service forgets the id. poll <= 0 means 50ms.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*JobInfo, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch info.State {
+		case JobDone, JobFailed, JobCancelled:
+			return info, nil
+		}
+		if err := sleepCtx(ctx, poll); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (c *Client) get(ctx context.Context, path string, out interface{}) error {
+	resp, err := c.roundTrip(ctx, http.MethodGet, path, nil)
 	if err != nil {
-		return fmt.Errorf("api: encoding request: %w", err)
+		return fmt.Errorf("api: %s: %w", path, err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		var apiErr errorResponse
+		if decodeErr := json.NewDecoder(resp.Body).Decode(&apiErr); decodeErr == nil && apiErr.Error != "" {
+			return fmt.Errorf("api: %s: status %d: %s", path, resp.StatusCode, apiErr.Error)
+		}
+		return fmt.Errorf("api: %s: status %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("api: decoding response: %w", err)
+	}
+	return nil
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
+	return c.postStatus(ctx, path, http.StatusOK, in, out)
+}
+
+// postStatus posts in and decodes the response into out, expecting the
+// given success status (the job submit endpoint answers 202).
+func (c *Client) postStatus(ctx context.Context, path string, want int, in, out interface{}) error {
+	var body []byte
+	if in != nil {
+		var err error
+		body, err = json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("api: encoding request: %w", err)
+		}
 	}
 	resp, err := c.roundTrip(ctx, http.MethodPost, path, body)
 	if err != nil {
 		return fmt.Errorf("api: %s: %w", path, err)
 	}
 	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != want {
 		var apiErr errorResponse
 		if decodeErr := json.NewDecoder(resp.Body).Decode(&apiErr); decodeErr == nil && apiErr.Error != "" {
 			return fmt.Errorf("api: %s: status %d: %s", path, resp.StatusCode, apiErr.Error)

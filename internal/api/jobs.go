@@ -1,0 +1,346 @@
+package api
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"reco/internal/algo"
+	"reco/internal/obs"
+	"reco/internal/parallel"
+)
+
+// Job states. A job moves queued → running → one of the terminal states;
+// cancellation can land in any non-terminal state and wins over the
+// scheduler's own result.
+const (
+	JobQueued    = "queued"
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// JobRequest submits one scheduling computation to the async API. Exactly
+// one of Single / Multi must be set, matching Kind.
+type JobRequest struct {
+	// Kind selects the computation shape: "single" or "multi".
+	Kind string `json:"kind"`
+	// Single is the single-coflow request (Kind "single").
+	Single *SingleRequest `json:"single,omitempty"`
+	// Multi is the batch request (Kind "multi").
+	Multi *MultiRequest `json:"multi,omitempty"`
+}
+
+// JobInfo is the wire representation of a job. Result fields are set only
+// in terminal states; timestamps are RFC 3339 with nanoseconds.
+type JobInfo struct {
+	ID        string          `json:"id"`
+	State     string          `json:"state"`
+	Kind      string          `json:"kind"`
+	Algorithm string          `json:"algorithm"`
+	Created   string          `json:"created"`
+	Started   string          `json:"started,omitempty"`
+	Finished  string          `json:"finished,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Single    *SingleResponse `json:"single,omitempty"`
+	Multi     *MultiResponse  `json:"multi,omitempty"`
+}
+
+// JobListResponse lists jobs in submission order.
+type JobListResponse struct {
+	Jobs []JobInfo `json:"jobs"`
+}
+
+// job is the manager-internal job record; every mutable field is guarded
+// by the manager's mutex.
+type job struct {
+	id   string
+	kind string
+	name string // algorithm
+	areq algo.Request
+
+	state             string
+	created           time.Time
+	started, finished time.Time
+	err               string
+	single            *SingleResponse
+	multi             *MultiResponse
+	cancel            context.CancelFunc
+	ctx               context.Context
+}
+
+// jobManager owns the job table and the bounded worker pool that executes
+// jobs. The pool starts lazily on the first submission, so servers that
+// never see a job never spawn its goroutines.
+type jobManager struct {
+	workers, queue int
+	retain         int
+
+	poolOnce sync.Once
+	pool     *parallel.Pool
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for listing and retention
+	seq    int64
+	closed bool
+}
+
+func newJobManager(workers, queue, retain int) *jobManager {
+	return &jobManager{
+		workers: workers,
+		queue:   queue,
+		retain:  retain,
+		jobs:    make(map[string]*job),
+	}
+}
+
+func (m *jobManager) close() {
+	m.mu.Lock()
+	m.closed = true
+	pool := m.pool
+	m.mu.Unlock()
+	if pool != nil {
+		pool.Close()
+	}
+}
+
+// submit registers the job and hands it to the pool. It returns false when
+// the queue is saturated (backpressure) or the manager is closed.
+func (m *jobManager) submit(j *job, run func()) bool {
+	m.poolOnce.Do(func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if !m.closed {
+			m.pool = parallel.NewPool(m.workers, m.queue)
+		}
+	})
+	m.mu.Lock()
+	if m.closed || m.pool == nil {
+		m.mu.Unlock()
+		return false
+	}
+	m.seq++
+	j.id = fmt.Sprintf("j%08d", m.seq)
+	j.state = JobQueued
+	j.created = time.Now()
+	pool := m.pool
+	m.mu.Unlock()
+
+	if !pool.TrySubmit(run) {
+		return false
+	}
+	m.mu.Lock()
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.evictLocked()
+	m.mu.Unlock()
+	obs.Current().Inc("jobs_submitted_total")
+	obs.Current().GaugeAdd("jobs_pending", 1)
+	return true
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention cap.
+// Queued and running jobs are never dropped.
+func (m *jobManager) evictLocked() {
+	finished := 0
+	for _, id := range m.order {
+		if j := m.jobs[id]; j != nil && terminal(j.state) {
+			finished++
+		}
+	}
+	if finished <= m.retain {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if j != nil && terminal(j.state) && finished > m.retain {
+			delete(m.jobs, id)
+			finished--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+func terminal(state string) bool {
+	return state == JobDone || state == JobFailed || state == JobCancelled
+}
+
+// get returns the job's current wire snapshot.
+func (m *jobManager) get(id string) (JobInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return j.infoLocked(), true
+}
+
+// list returns every retained job in submission order.
+func (m *jobManager) list() []JobInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobInfo, 0, len(m.order))
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok {
+			out = append(out, j.infoLocked())
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// cancelJob cancels the job's context. A queued job flips straight to
+// cancelled (its worker closure observes that and returns); a running job
+// transitions when the scheduler honors the context. Returns the post-
+// cancel snapshot.
+func (m *jobManager) cancelJob(id string) (JobInfo, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return JobInfo{}, false
+	}
+	if j.state == JobQueued {
+		j.state = JobCancelled
+		j.finished = time.Now()
+		obs.Current().GaugeAdd("jobs_pending", -1)
+	}
+	cancel := j.cancel
+	info := j.infoLocked()
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	obs.Current().Inc("jobs_cancelled_total")
+	return info, true
+}
+
+func (j *job) infoLocked() JobInfo {
+	info := JobInfo{
+		ID:        j.id,
+		State:     j.state,
+		Kind:      j.kind,
+		Algorithm: j.name,
+		Created:   j.created.Format(time.RFC3339Nano),
+		Error:     j.err,
+		Single:    j.single,
+		Multi:     j.multi,
+	}
+	if !j.started.IsZero() {
+		info.Started = j.started.Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		info.Finished = j.finished.Format(time.RFC3339Nano)
+	}
+	return info
+}
+
+// exec runs one job to a terminal state through the server's cached
+// scheduling path.
+func (s *Server) exec(j *job) {
+	m := s.jobs
+	m.mu.Lock()
+	if j.state != JobQueued {
+		// Cancelled while queued.
+		m.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	ctx := j.ctx
+	m.mu.Unlock()
+
+	res, err := s.schedule(ctx, j.name, j.areq)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.finished = time.Now()
+	obs.Current().GaugeAdd("jobs_pending", -1)
+	switch {
+	case ctx.Err() != nil:
+		j.state = JobCancelled
+	case err != nil:
+		j.state = JobFailed
+		j.err = err.Error()
+	default:
+		j.state = JobDone
+		switch j.kind {
+		case "single":
+			r := renderSingle(j.areq, res)
+			j.single = &r
+		default:
+			r := renderMulti(res)
+			j.multi = &r
+		}
+	}
+	obs.Current().Inc(obs.L("jobs_finished_total", "state", j.state))
+	m.evictLocked()
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	j := &job{kind: req.Kind}
+	var err error
+	switch {
+	case req.Kind == "single" && req.Single != nil:
+		j.name, j.areq, err = req.Single.toAlgo()
+	case req.Kind == "multi" && req.Multi != nil:
+		j.name, j.areq, err = req.Multi.toAlgo()
+	default:
+		writeError(w, http.StatusBadRequest, `kind must be "single" or "multi" with the matching request field set`)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Validate the algorithm at submission time so a typo is a 400 now, not
+	// a failed job later.
+	if _, err := algo.Get(j.name); err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	// The job's context outlives the submitting request by design; only
+	// cancellation (or Close) ends it.
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	if !s.jobs.submit(j, func() { s.exec(j) }) {
+		writeError(w, http.StatusServiceUnavailable, "job queue full")
+		return
+	}
+	info, _ := s.jobs.get(j.id)
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, JobListResponse{Jobs: s.jobs.list()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.jobs.cancelJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}

@@ -70,9 +70,12 @@ func (m *Metrics) endpoint(key string) *endpointMetrics {
 	}
 	reg := m.Registry()
 	e := &endpointMetrics{
-		count:   reg.Counter(obs.L("http_requests_total", "endpoint", key)),
-		errors:  reg.Counter(obs.L("http_request_errors_total", "endpoint", key)),
-		latency: reg.Histogram(obs.L("http_request_seconds", "endpoint", key), nil),
+		count:  reg.Counter(obs.L("http_requests_total", "endpoint", key)),
+		errors: reg.Counter(obs.L("http_request_errors_total", "endpoint", key)),
+		// Log-scale buckets: a cache-hit response is a few µs, a cold LP
+		// solve can take seconds; fixed DefBuckets would fold the entire
+		// fast path into one bucket and quantiles would be useless.
+		latency: reg.Histogram(obs.L("http_request_seconds", "endpoint", key), obs.LogBuckets(1e-6, 2, 24)),
 	}
 	// A racing creator built an identical wrapper around the same
 	// registry series; either winning is correct.
@@ -161,9 +164,16 @@ func NewInstrumentedHandler() http.Handler {
 // (nil: a private registry); it also returns the collector so callers can
 // export the registry in other formats (Prometheus, JSON).
 func NewInstrumentedHandlerOn(reg *obs.Registry) (http.Handler, *Metrics) {
+	return NewServer(Options{}).InstrumentedHandlerOn(reg)
+}
+
+// InstrumentedHandlerOn wraps the server's handler with metrics collection
+// publishing into reg (nil: a private registry) and a /v1/metrics endpoint,
+// returning the collector alongside.
+func (s *Server) InstrumentedHandlerOn(reg *obs.Registry) (http.Handler, *Metrics) {
 	m := NewMetrics(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/v1/metrics", m.Handler())
-	mux.Handle("/", m.Middleware(NewHandler()))
+	mux.Handle("/", m.Middleware(s.Handler()))
 	return mux, m
 }

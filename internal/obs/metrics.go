@@ -19,6 +19,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"strings"
@@ -103,6 +104,31 @@ var DefBuckets = []float64{
 var TickBuckets = []float64{
 	1e2, 2.5e2, 5e2, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4,
 	1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7, 1e8,
+}
+
+// LogBuckets returns n exponentially spaced histogram bucket upper bounds
+// starting at min, each factor times the previous: min, min·factor,
+// min·factor², …. Log-scale bounds keep relative resolution constant, which
+// is what API latencies spanning µs (a cache hit) to seconds (a cold LP
+// solve) need; the fixed DefBuckets would collapse everything below 10µs
+// into one bucket. min must be positive, factor > 1 and n ≥ 1 — violations
+// are programmer errors and panic.
+func LogBuckets(min, factor float64, n int) []float64 {
+	if min <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: LogBuckets(%v, %v, %d): need min > 0, factor > 1, n >= 1", min, factor, n))
+	}
+	out := make([]float64, n)
+	v := min
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// NewHistogramLog returns a histogram over LogBuckets(min, factor, n).
+func NewHistogramLog(min, factor float64, n int) *Histogram {
+	return NewHistogram(LogBuckets(min, factor, n))
 }
 
 // Histogram is a fixed-bucket streaming histogram over non-negative

@@ -295,3 +295,48 @@ func TestRegistryConcurrency(t *testing.T) {
 		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
 	}
 }
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(1e-6, 2, 4)
+	want := []float64{1e-6, 2e-6, 4e-6, 8e-6}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-18 {
+			t.Errorf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	for _, bad := range []func(){
+		func() { LogBuckets(0, 2, 4) },
+		func() { LogBuckets(1e-6, 1, 4) },
+		func() { LogBuckets(1e-6, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid LogBuckets args did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestNewHistogramLogResolvesMicroseconds(t *testing.T) {
+	// A µs-scale sample must not share a bucket with a ms-scale sample, which
+	// is exactly what DefBuckets (first bound 10µs) cannot guarantee.
+	h := NewHistogramLog(1e-6, 2, 24)
+	h.Observe(3e-6)
+	p50 := h.Quantile(0.5)
+	if p50 < 1e-6 || p50 > 8e-6 {
+		t.Errorf("p50 = %v, want within a factor-2 bucket of 3µs", p50)
+	}
+	h2 := NewHistogramLog(1e-6, 2, 24)
+	for i := 0; i < 100; i++ {
+		h2.Observe(2e-3) // 2ms
+	}
+	if q := h2.Quantile(0.5); q < 1e-3 || q > 4e-3 {
+		t.Errorf("ms-scale p50 = %v, want ~2ms", q)
+	}
+}

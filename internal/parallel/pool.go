@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"sync"
+
+	"reco/internal/obs"
+)
+
+// Pool is a long-lived bounded worker pool for background tasks — the
+// service-side counterpart of ForEach/Map, which fan out a fixed trial
+// count and return. recod's async job API submits scheduling jobs to a Pool
+// so large instances run on a fixed number of goroutines with a bounded
+// queue instead of one goroutine per HTTP request.
+//
+// A Pool is safe for concurrent use. Tasks are executed in submission
+// order by whichever worker frees up first; there is no result collection —
+// tasks communicate through their own closures.
+//
+// With an obs sink attached the pool keeps pool_tasks_total and a
+// pool_queue_depth gauge.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool with the given worker count (resolved through
+// Workers, so 0 means RECO_WORKERS or GOMAXPROCS) and queue capacity
+// (minimum 1).
+func NewPool(workers, queue int) *Pool {
+	workers = Workers(workers)
+	if queue < 1 {
+		queue = 1
+	}
+	p := &Pool{tasks: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				obs.Current().GaugeAdd("pool_queue_depth", -1)
+				fn()
+				obs.Current().Inc("pool_tasks_total")
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues fn without blocking. It returns false when the queue
+// is full or the pool is closed — the caller decides whether that is
+// backpressure (HTTP 503) or a fatal condition.
+func (p *Pool) TrySubmit(fn func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		obs.Current().GaugeAdd("pool_queue_depth", 1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops accepting tasks, runs everything already queued, and waits
+// for the workers to exit. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,71 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEverythingSubmitted(t *testing.T) {
+	p := NewPool(4, 64)
+	var ran atomic.Int64
+	for i := 0; i < 50; i++ {
+		if !p.TrySubmit(func() { ran.Add(1) }) {
+			t.Fatalf("submit %d rejected with spare queue", i)
+		}
+	}
+	p.Close()
+	if got := ran.Load(); got != 50 {
+		t.Errorf("ran %d tasks, want 50", got)
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	ok := p.TrySubmit(func() { defer wg.Done(); <-block })
+	if !ok {
+		t.Fatal("first submit rejected")
+	}
+	// Fill the queue (capacity 1) once the worker is busy; eventually a
+	// submit must be rejected rather than blocking.
+	rejected := false
+	for i := 0; i < 100 && !rejected; i++ {
+		if !p.TrySubmit(func() {}) {
+			rejected = true
+		}
+	}
+	if !rejected {
+		t.Error("no backpressure: 100 submits accepted on a full pool")
+	}
+	close(block)
+	wg.Wait()
+	p.Close()
+}
+
+func TestPoolSubmitAfterCloseRejected(t *testing.T) {
+	p := NewPool(2, 4)
+	p.Close()
+	if p.TrySubmit(func() {}) {
+		t.Error("submit accepted after Close")
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolConcurrentSubmitAndClose(t *testing.T) {
+	p := NewPool(4, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.TrySubmit(func() {})
+			}
+		}()
+	}
+	p.Close() // races with submitters; must not panic or deadlock
+	wg.Wait()
+}
