@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-short bench-json verify results examples fmt fmt-check vet check clean loadtest-short loadtest
+.PHONY: all build test test-short race cover bench bench-short bench-json verify results examples fmt fmt-check vet check clean loadtest-short loadtest fuzz-short
 
 all: build test
 
@@ -44,12 +44,25 @@ bench-json:
 # runs recoload, then recobench -compare against the committed baseline with
 # a huge threshold — the compare never gates on timing noise, it only proves
 # the report still parses in the recobench schema (shape smoke test).
+# The second leg is a seeded overload run through the async job path — one
+# worker, a two-deep queue, tight deadlines, weighted requests — proving
+# admission control sheds and rejects structurally (429s, shed jobs) while
+# the harness still exits 0: only transport errors fail a load run.
 loadtest-short:
 	$(GO) run ./cmd/recoload -inprocess -duration 2s -concurrency 4 \
 		-n 8 -coflows 4 -reuse 0.9 -mix single=0.8,multi=0.2 \
 		-label warm -bench /tmp/recoload-short.json > /dev/null
 	$(GO) run ./cmd/recobench -compare -regress 1e9 BENCH_recoload.json /tmp/recoload-short.json
 	@rm -f /tmp/recoload-short.json
+	$(GO) run ./cmd/recoload -inprocess -no-cache -duration 2s -concurrency 8 \
+		-seed 7 -n 24 -mix job=1 -deadline 20ms -weighted \
+		-job-workers 1 -job-queue 2 > /dev/null
+
+# Ten seconds of coverage-guided fuzzing over the schedule/job decoders
+# (malformed JSON, hostile SLA fields). CI-friendly: fails only on a crash
+# or a broken response contract, never on timing.
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzScheduleRequest -fuzztime=10s ./internal/api
 
 # Regenerate the committed load-test baseline (warm cache vs cold, ~10 s).
 # helios is the compute-heavy scheduler, so the warm/cold p50 ratio shows

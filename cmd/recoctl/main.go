@@ -85,6 +85,8 @@ func runSingle(ctx context.Context, client *api.Client, args []string, stdin io.
 	fs.SetOutput(stderr)
 	demandPath := fs.String("demand", "-", "path to the demand matrix JSON ('-' for stdin)")
 	delta := fs.Int64("delta", 100, "reconfiguration delay in ticks")
+	deadlineMS := fs.Int64("deadline-ms", 0, "request SLA in milliseconds (0 = none); the server answers 504 past it")
+	weight := fs.Float64("weight", 0, "admission weight (0 = default 1); heavier requests are shed last under overload")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,7 +94,9 @@ func runSingle(ctx context.Context, client *api.Client, args []string, stdin io.
 	if err := readJSONInput(*demandPath, stdin, &demand); err != nil {
 		return err
 	}
-	resp, err := client.ScheduleSingle(ctx, api.SingleRequest{Demand: demand, Delta: *delta})
+	resp, err := client.ScheduleSingle(ctx, api.SingleRequest{
+		Demand: demand, Delta: *delta, DeadlineMS: *deadlineMS, Weight: *weight,
+	})
 	if err != nil {
 		return err
 	}
@@ -105,6 +109,8 @@ func runMulti(ctx context.Context, client *api.Client, args []string, stdin io.R
 	demandsPath := fs.String("demands", "-", "path to the demand matrices JSON ('-' for stdin)")
 	delta := fs.Int64("delta", 100, "reconfiguration delay in ticks")
 	c := fs.Int64("c", 4, "optical transmission threshold")
+	deadlineMS := fs.Int64("deadline-ms", 0, "request SLA in milliseconds (0 = none); the server answers 504 past it")
+	weight := fs.Float64("weight", 0, "admission weight (0 = default 1); heavier requests are shed last under overload")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -112,7 +118,9 @@ func runMulti(ctx context.Context, client *api.Client, args []string, stdin io.R
 	if err != nil {
 		return err
 	}
-	resp, err := client.ScheduleMulti(ctx, api.MultiRequest{Demands: demands, Delta: *delta, C: *c})
+	resp, err := client.ScheduleMulti(ctx, api.MultiRequest{
+		Demands: demands, Delta: *delta, C: *c, DeadlineMS: *deadlineMS, Weight: *weight,
+	})
 	if err != nil {
 		return err
 	}
@@ -178,6 +186,8 @@ func runJobSubmit(ctx context.Context, client *api.Client, args []string, stdin 
 	delta := fs.Int64("delta", 100, "reconfiguration delay in ticks")
 	c := fs.Int64("c", 4, "multi: optical transmission threshold")
 	alg := fs.String("alg", "", "algorithm name (empty: the kind's default)")
+	deadlineMS := fs.Int64("deadline-ms", 0, "job SLA in milliseconds (0 = none); drives admission and miss reporting")
+	weight := fs.Float64("weight", 0, "admission weight (0 = default 1); heavier jobs are shed last under overload")
 	wait := fs.Bool("wait", false, "poll until the job finishes and print the final state")
 	poll := fs.Duration("poll", 100*time.Millisecond, "polling interval with -wait")
 	if err := fs.Parse(args); err != nil {
@@ -190,13 +200,19 @@ func runJobSubmit(ctx context.Context, client *api.Client, args []string, stdin 
 		if err := readJSONInput(*demandPath, stdin, &demand); err != nil {
 			return err
 		}
-		req.Single = &api.SingleRequest{Demand: demand, Delta: *delta, Algorithm: *alg}
+		req.Single = &api.SingleRequest{
+			Demand: demand, Delta: *delta, Algorithm: *alg,
+			DeadlineMS: *deadlineMS, Weight: *weight,
+		}
 	case "multi":
 		demands, err := readDemands(*demandsPath, stdin)
 		if err != nil {
 			return err
 		}
-		req.Multi = &api.MultiRequest{Demands: demands, Delta: *delta, C: *c, Algorithm: *alg}
+		req.Multi = &api.MultiRequest{
+			Demands: demands, Delta: *delta, C: *c, Algorithm: *alg,
+			DeadlineMS: *deadlineMS, Weight: *weight,
+		}
 	default:
 		return fmt.Errorf("unknown job kind %q", *kind)
 	}

@@ -6,6 +6,16 @@
 //
 //	recoload -server http://127.0.0.1:8372 -concurrency 8 -duration 10s -reuse 0.9
 //	recoload -inprocess -duration 2s -mix single=0.8,multi=0.2
+//	recoload -inprocess -duration 2s -mix job=1 -deadline 200ms -weighted \
+//	    -job-workers 1 -job-queue 2
+//
+// With -deadline every request carries a per-request SLA drawn uniformly
+// from [0.5, 1.5) x the base duration, and -weighted assigns power-of-two
+// admission weights, which together exercise the server's deadline-aware
+// admission control. Admission outcomes are classified, not failed: a 429
+// rejection, a shed job, or a missed deadline counts in the report's
+// rejected/shed/missed tallies and leaves the exit status zero — only
+// transport or server errors fail the run.
 //
 // With -inprocess, recoload starts an in-process recod-equivalent server
 // (the same api handler chain, plan cache, and /metrics.json registry) and
@@ -67,12 +77,23 @@ type config struct {
 	Delta       int64         `json:"delta"`
 	C           int64         `json:"c"`
 	Label       string        `json:"label"`
+	Deadline    time.Duration `json:"-"`
+	DeadlineStr string        `json:"deadline,omitempty"`
+	Weighted    bool          `json:"weighted,omitempty"`
+	JobWorkers  int           `json:"job_workers,omitempty"`
+	JobQueue    int           `json:"job_queue,omitempty"`
 }
 
-// opStats summarizes one request kind's latency samples.
+// opStats summarizes one request kind's latency samples. Count covers
+// completed requests (including deadline misses); rejected and shed
+// requests are admission outcomes, tallied separately and excluded from
+// the latency quantiles.
 type opStats struct {
 	Count      int64   `json:"count"`
 	Errors     int64   `json:"errors"`
+	Rejected   int64   `json:"rejected,omitempty"`
+	Shed       int64   `json:"shed,omitempty"`
+	Missed     int64   `json:"missed,omitempty"`
 	MeanNs     float64 `json:"mean_ns"`
 	P50Ns      float64 `json:"p50_ns"`
 	P95Ns      float64 `json:"p95_ns"`
@@ -81,12 +102,17 @@ type opStats struct {
 	Throughput float64 `json:"throughput_rps"`
 }
 
-// report is the run's JSON output.
+// report is the run's JSON output. MissRate is missed / completed across
+// all kinds (0 when nothing carried a deadline or nothing completed).
 type report struct {
 	Config          config             `json:"config"`
 	DurationSeconds float64            `json:"duration_seconds"`
 	TotalRequests   int64              `json:"total_requests"`
 	TotalErrors     int64              `json:"total_errors"`
+	TotalRejected   int64              `json:"total_rejected,omitempty"`
+	TotalShed       int64              `json:"total_shed,omitempty"`
+	TotalMissed     int64              `json:"total_missed,omitempty"`
+	MissRate        float64            `json:"miss_rate,omitempty"`
 	ThroughputRPS   float64            `json:"throughput_rps"`
 	Ops             map[string]opStats `json:"ops"`
 	Metrics         map[string]any     `json:"metrics,omitempty"`
@@ -119,12 +145,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Int64Var(&cfg.Delta, "delta", 100, "reconfiguration delay in ticks")
 	fs.Int64Var(&cfg.C, "c", 4, "optical transmission threshold (multi)")
 	fs.StringVar(&cfg.Label, "label", "", "bench record label (default: reuse<ratio>, plus -nocache)")
+	fs.DurationVar(&cfg.Deadline, "deadline", 0, "base per-request SLA; each request draws [0.5,1.5)x this (0: none)")
+	fs.BoolVar(&cfg.Weighted, "weighted", false, "assign seeded power-of-two admission weights to requests")
+	fs.IntVar(&cfg.JobWorkers, "job-workers", 0, "inprocess: async job pool workers (0: server default)")
+	fs.IntVar(&cfg.JobQueue, "job-queue", 0, "inprocess: queued-job bound before admission control kicks in (0: server default)")
 	benchPath := fs.String("bench", "", "write/merge recobench-schema records to this file")
 	outPath := fs.String("out", "", "also write the report to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	cfg.DurationStr = cfg.Duration.String()
+	if cfg.Deadline > 0 {
+		cfg.DeadlineStr = cfg.Deadline.String()
+	}
 	if cfg.Label == "" {
 		cfg.Label = fmt.Sprintf("reuse%.2f", cfg.Reuse)
 		if cfg.NoCache {
@@ -148,7 +181,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	base := cfg.Server
 	if cfg.InProcess {
-		srv, err := startInProcess(cfg.NoCache)
+		srv, err := startInProcess(cfg)
 		if err != nil {
 			fmt.Fprintf(stderr, "recoload: starting in-process server: %v\n", err)
 			return 1
@@ -208,7 +241,7 @@ func parseMix(s string) (map[string]float64, error) {
 		if !ok {
 			return nil, fmt.Errorf("mix %q: want kind=weight pairs", s)
 		}
-		if k != "single" && k != "multi" {
+		if k != "single" && k != "multi" && k != "job" {
 			return nil, fmt.Errorf("mix %q: unknown kind %q", s, k)
 		}
 		w, err := strconv.ParseFloat(v, 64)
@@ -270,11 +303,41 @@ func perturb(rows [][]int64) [][]int64 {
 	return out
 }
 
+// Request outcomes. ok and missed are completed work; rejected and shed
+// are admission decisions; failed is a transport or server error (the
+// only outcome that fails the run).
+const (
+	outcomeOK       = "ok"
+	outcomeMissed   = "missed"
+	outcomeRejected = "rejected"
+	outcomeShed     = "shed"
+	outcomeFailed   = "failed"
+)
+
 // sample is one request's outcome.
 type sample struct {
-	kind string
-	ns   int64
-	err  bool
+	kind    string
+	ns      int64
+	outcome string
+}
+
+// classify maps a request result onto an outcome. A structured 429 is an
+// admission rejection and a 504 is a missed SLA — both expected under
+// deliberate overload, neither a harness failure.
+func classify(err error) string {
+	if err == nil {
+		return outcomeOK
+	}
+	var apiErr *api.APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Status {
+		case http.StatusTooManyRequests:
+			return outcomeRejected
+		case http.StatusGatewayTimeout:
+			return outcomeMissed
+		}
+	}
+	return outcomeFailed
 }
 
 // drive runs the closed loop and aggregates the report.
@@ -284,6 +347,7 @@ func drive(base string, cfg config, mix map[string]float64, pool [][][]int64) (*
 		return nil, fmt.Errorf("server not healthy: %w", err)
 	}
 	pSingle := mix["single"]
+	pMulti := mix["multi"]
 
 	results := make([][]sample, cfg.Concurrency)
 	var wg sync.WaitGroup
@@ -298,9 +362,12 @@ func drive(base string, cfg config, mix map[string]float64, pool [][][]int64) (*
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
 			var out []sample
 			for time.Now().Before(deadline) {
-				kind := "multi"
-				if rng.Float64() < pSingle {
+				kind := "job"
+				switch p := rng.Float64(); {
+				case p < pSingle:
 					kind = "single"
+				case p < pSingle+pMulti:
+					kind = "multi"
 				}
 				pick := func() [][]int64 {
 					rows := pool[rng.Intn(len(pool))]
@@ -309,16 +376,36 @@ func drive(base string, cfg config, mix map[string]float64, pool [][][]int64) (*
 					}
 					return rows
 				}
-				var err error
-				t0 := time.Now()
-				if kind == "single" {
-					_, err = client.ScheduleSingle(context.Background(),
-						api.SingleRequest{Demand: pick(), Delta: cfg.Delta, Algorithm: cfg.Alg})
-				} else {
-					_, err = client.ScheduleMulti(context.Background(),
-						api.MultiRequest{Demands: [][][]int64{pick(), pick()}, Delta: cfg.Delta, C: cfg.C, Algorithm: cfg.Alg})
+				var deadlineMS int64
+				if cfg.Deadline > 0 {
+					deadlineMS = int64(float64(cfg.Deadline.Milliseconds()) * (0.5 + rng.Float64()))
+					if deadlineMS < 1 {
+						deadlineMS = 1
+					}
 				}
-				out = append(out, sample{kind: kind, ns: time.Since(t0).Nanoseconds(), err: err != nil})
+				var weight float64
+				if cfg.Weighted {
+					weight = float64(int64(1) << rng.Intn(4))
+				}
+				t0 := time.Now()
+				var outcome string
+				switch kind {
+				case "single":
+					_, err := client.ScheduleSingle(context.Background(), api.SingleRequest{
+						Demand: pick(), Delta: cfg.Delta, Algorithm: cfg.Alg,
+						DeadlineMS: deadlineMS, Weight: weight,
+					})
+					outcome = classify(err)
+				case "multi":
+					_, err := client.ScheduleMulti(context.Background(), api.MultiRequest{
+						Demands: [][][]int64{pick(), pick()}, Delta: cfg.Delta, C: cfg.C,
+						Algorithm: cfg.Alg, DeadlineMS: deadlineMS, Weight: weight,
+					})
+					outcome = classify(err)
+				default:
+					outcome = driveJob(client, cfg, pick(), deadlineMS, weight)
+				}
+				out = append(out, sample{kind: kind, ns: time.Since(t0).Nanoseconds(), outcome: outcome})
 			}
 			results[w] = out
 		}(w)
@@ -327,14 +414,16 @@ func drive(base string, cfg config, mix map[string]float64, pool [][][]int64) (*
 	elapsed := time.Since(start)
 
 	byKind := make(map[string][]int64)
-	errs := make(map[string]int64)
+	counts := make(map[string]map[string]int64)
 	for _, rs := range results {
 		for _, s := range rs {
-			if s.err {
-				errs[s.kind]++
-				continue
+			if counts[s.kind] == nil {
+				counts[s.kind] = make(map[string]int64)
 			}
-			byKind[s.kind] = append(byKind[s.kind], s.ns)
+			counts[s.kind][s.outcome]++
+			if s.outcome == outcomeOK || s.outcome == outcomeMissed {
+				byKind[s.kind] = append(byKind[s.kind], s.ns)
+			}
 		}
 	}
 	rep := &report{
@@ -342,23 +431,57 @@ func drive(base string, cfg config, mix map[string]float64, pool [][][]int64) (*
 		DurationSeconds: elapsed.Seconds(),
 		Ops:             make(map[string]opStats),
 	}
-	for kind, ns := range byKind {
-		st := summarize(ns, elapsed)
-		st.Errors = errs[kind]
+	for kind, c := range counts {
+		st := summarize(byKind[kind], elapsed)
+		st.Errors = c[outcomeFailed]
+		st.Rejected = c[outcomeRejected]
+		st.Shed = c[outcomeShed]
+		st.Missed = c[outcomeMissed]
 		rep.Ops[kind] = st
 		rep.TotalRequests += st.Count
 		rep.TotalErrors += st.Errors
+		rep.TotalRejected += st.Rejected
+		rep.TotalShed += st.Shed
+		rep.TotalMissed += st.Missed
 	}
-	for kind, n := range errs {
-		if _, ok := byKind[kind]; !ok {
-			rep.Ops[kind] = opStats{Errors: n}
-			rep.TotalErrors += n
-		}
+	if rep.TotalRequests > 0 {
+		rep.MissRate = float64(rep.TotalMissed) / float64(rep.TotalRequests)
 	}
 	if elapsed > 0 {
 		rep.ThroughputRPS = float64(rep.TotalRequests) / elapsed.Seconds()
 	}
 	return rep, nil
+}
+
+// driveJob submits one async job and waits it to a terminal state,
+// translating the job lifecycle into an outcome: a 429 on submit is
+// rejected, a shed job is shed, a done job that blew its SLA is missed.
+func driveJob(client *api.Client, cfg config, demand [][]int64, deadlineMS int64, weight float64) string {
+	info, err := client.SubmitJob(context.Background(), api.JobRequest{
+		Kind: "single",
+		Single: &api.SingleRequest{
+			Demand: demand, Delta: cfg.Delta, Algorithm: cfg.Alg,
+			DeadlineMS: deadlineMS, Weight: weight,
+		},
+	})
+	if err != nil {
+		return classify(err)
+	}
+	final, err := client.WaitJob(context.Background(), info.ID, 2*time.Millisecond)
+	if err != nil {
+		return classify(err)
+	}
+	switch final.State {
+	case api.JobShed:
+		return outcomeShed
+	case api.JobDone:
+		if final.Missed {
+			return outcomeMissed
+		}
+		return outcomeOK
+	default: // failed, cancelled: not this harness's doing
+		return outcomeFailed
+	}
 }
 
 // summarize computes exact (sample-sorted, not histogram-bucketed)
@@ -463,7 +586,7 @@ func scrapeMetrics(base string) map[string]any {
 	}
 	out := make(map[string]any)
 	for k, v := range all {
-		for _, prefix := range []string{"plancache_", "jobs_", "pool_"} {
+		for _, prefix := range []string{"plancache_", "jobs_", "pool_", "admission_"} {
 			if strings.HasPrefix(k, prefix) {
 				out[k] = v
 				break
@@ -484,11 +607,15 @@ type inProcessServer struct {
 	stop func()
 }
 
-func startInProcess(noCache bool) (*inProcessServer, error) {
+func startInProcess(cfg config) (*inProcessServer, error) {
 	reg := obs.NewRegistry()
 	obs.Attach(&obs.Sink{Metrics: reg})
 
-	apiServer := api.NewServer(api.Options{NoCache: noCache})
+	apiServer := api.NewServer(api.Options{
+		NoCache:    cfg.NoCache,
+		JobWorkers: cfg.JobWorkers,
+		JobQueue:   cfg.JobQueue,
+	})
 	h, _ := apiServer.InstrumentedHandlerOn(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/", h)

@@ -88,6 +88,7 @@ func run() int {
 		jitter     = flag.Int64("jitter", 0, "with -faults: δ jitter bound in ticks")
 		repair     = flag.Int64("repair", 0, "with -faults: port repair delay in ticks (0: half the clean CCT)")
 		faultSeed  = flag.Int64("faultseed", 1, "with -faults: fault-schedule seed")
+		traceCap   = flag.Int("trace-cap", 0, "with -tracefile: keep only the most recent N trace events (ring buffer; 0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -107,7 +108,7 @@ func run() int {
 	// combined trace is written on exit.
 	var tracer *obs.Tracer
 	if *tracefile != "" {
-		tracer = obs.NewTracer()
+		tracer = obs.NewTracerCap(*traceCap)
 		obs.Attach(&obs.Sink{Metrics: obs.NewRegistry(), Trace: tracer})
 		defer obs.Detach()
 	}
@@ -347,6 +348,10 @@ func writeTrace(path string, tr *obs.Tracer) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("tracefile: %w", err)
 	}
-	fmt.Printf("trace          %s (%d events)\n", path, tr.Len())
+	if dropped := tr.Dropped(); dropped > 0 {
+		fmt.Printf("trace          %s (%d events, %d older events dropped by -trace-cap)\n", path, tr.Len(), dropped)
+	} else {
+		fmt.Printf("trace          %s (%d events)\n", path, tr.Len())
+	}
 	return nil
 }

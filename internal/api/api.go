@@ -16,12 +16,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"time"
 
 	"reco/internal/algo"
 	_ "reco/internal/algo/builtin" // populate the scheduler registry
 	"reco/internal/core"
 	"reco/internal/matrix"
+	"reco/internal/obs"
 	"reco/internal/ocs"
 	"reco/internal/plancache"
 	"reco/internal/schedule"
@@ -128,6 +131,15 @@ type SingleRequest struct {
 	// them); empty means Reco-Sin, the historical behavior of this
 	// endpoint.
 	Algorithm string `json:"algorithm,omitempty"`
+	// DeadlineMS is the request's SLA in milliseconds (docs/ADMISSION.md).
+	// On the synchronous endpoints it bounds the computation (a structured
+	// 504 past it); on the job API it drives admission and miss reporting.
+	// Zero means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Weight is the request's importance to admission control; higher
+	// weights are shed last. Zero means 1. It never affects the computed
+	// schedule (or its cache key), only which work survives overload.
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // toAlgo validates the request into the registry shape.
@@ -186,6 +198,12 @@ type MultiRequest struct {
 	// them); empty means Reco-Mul, the historical behavior of this
 	// endpoint. The scheduler must support multi-coflow batches.
 	Algorithm string `json:"algorithm,omitempty"`
+	// DeadlineMS is the request's SLA in milliseconds; see
+	// SingleRequest.DeadlineMS. Zero means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Weight is the request's admission weight; see SingleRequest.Weight.
+	// It is distinct from Weights, which shapes the schedule itself.
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // toAlgo validates the request into the registry shape.
@@ -267,9 +285,41 @@ type AlgorithmsResponse struct {
 	Algorithms []AlgorithmInfo `json:"algorithms"`
 }
 
-// errorResponse is the JSON error envelope.
+// errorResponse is the JSON error envelope. RetryAfterMS, present on 429
+// and 503 responses, is the server's estimate of when capacity frees up;
+// cooperating clients (RetryPolicy) wait that long before retrying.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// maxDeadlineMS is the largest deadline_ms that converts to a
+// time.Duration without overflowing (about 292 years) — anything larger
+// is a validation error rather than a silent wraparound.
+const maxDeadlineMS = int64(math.MaxInt64) / int64(time.Millisecond)
+
+// sla validates an SLA field pair and returns the context timeout it
+// implies (zero when there is no deadline).
+func sla(deadlineMS int64, weight float64) (time.Duration, error) {
+	if deadlineMS < 0 {
+		return 0, fmt.Errorf("deadline_ms must be non-negative, got %d", deadlineMS)
+	}
+	if deadlineMS > maxDeadlineMS {
+		return 0, fmt.Errorf("deadline_ms must be at most %d, got %d", maxDeadlineMS, deadlineMS)
+	}
+	if weight < 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return 0, fmt.Errorf("weight must be finite and non-negative, got %v", weight)
+	}
+	return time.Duration(deadlineMS) * time.Millisecond, nil
+}
+
+// slaContext derives the request context the computation runs under: the
+// caller's context bounded by the request's deadline, if any.
+func slaContext(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, timeout)
 }
 
 // Handler returns the server's HTTP handler:
@@ -344,9 +394,16 @@ func (s *Server) handleSingle(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := s.schedule(r.Context(), name, areq)
+	timeout, err := sla(req.DeadlineMS, req.Weight)
 	if err != nil {
-		writeError(w, statusFor(err), err.Error())
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := slaContext(r.Context(), timeout)
+	defer cancel()
+	res, err := s.schedule(ctx, name, areq)
+	if err != nil {
+		s.writeScheduleError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, renderSingle(areq, res))
@@ -362,12 +419,29 @@ func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := s.schedule(r.Context(), name, areq)
+	timeout, err := sla(req.DeadlineMS, req.Weight)
 	if err != nil {
-		writeError(w, statusFor(err), err.Error())
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := slaContext(r.Context(), timeout)
+	defer cancel()
+	res, err := s.schedule(ctx, name, areq)
+	if err != nil {
+		s.writeScheduleError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, renderMulti(res))
+}
+
+// writeScheduleError maps a scheduling failure onto the wire, counting
+// blown request deadlines separately so operators can see SLA pressure.
+func (s *Server) writeScheduleError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusGatewayTimeout {
+		obs.Current().Inc("api_deadline_exceeded_total")
+	}
+	writeError(w, status, err.Error())
 }
 
 func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
@@ -420,8 +494,8 @@ func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst interface{
 	return true
 }
 
-// statusFor maps library validation errors to 400 and everything else to
-// 500.
+// statusFor maps library validation errors to 400, a blown request
+// deadline to 504, and everything else to 500.
 func statusFor(err error) int {
 	if errors.Is(err, core.ErrBadParam) ||
 		errors.Is(err, matrix.ErrDimension) ||
@@ -430,6 +504,9 @@ func statusFor(err error) int {
 		errors.Is(err, algo.ErrUnknown) ||
 		errors.Is(err, algo.ErrBadRequest) {
 		return http.StatusBadRequest
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
 	}
 	return http.StatusInternalServerError
 }
@@ -444,6 +521,17 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// writeErrorRetry writes the error envelope with a retry hint, mirrored in
+// a Retry-After header (whole seconds, rounded up) for generic clients.
+func writeErrorRetry(w http.ResponseWriter, status int, msg string, retryMS int64) {
+	if retryMS <= 0 {
+		writeError(w, status, msg)
+		return
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", (retryMS+999)/1000))
+	writeJSON(w, status, errorResponse{Error: msg, RetryAfterMS: retryMS})
 }
 
 func flowsToWire(fs schedule.FlowSchedule) []Flow {

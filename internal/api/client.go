@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -17,10 +18,33 @@ import (
 // but not unbounded; http.DefaultClient would wait forever on a hung server.
 const DefaultTimeout = 30 * time.Second
 
-// RetryPolicy configures opt-in request retries. Connection errors and 5xx
-// responses are retried with exponential backoff and jitter; 4xx responses
-// and context cancellation are not. Every endpoint of the service is a pure
-// computation, so retrying POSTs is safe.
+// APIError is a non-success response from the service, carrying the
+// structured error body. Errors returned by the client's methods unwrap to
+// it via errors.As.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Msg is the server's error message.
+	Msg string
+	// RetryAfterMS is the server's backoff hint (429/503 responses under
+	// load carry one); zero when absent.
+	RetryAfterMS int64
+}
+
+func (e *APIError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("status %d", e.Status)
+	}
+	return fmt.Sprintf("status %d: %s", e.Status, e.Msg)
+}
+
+// RetryPolicy configures opt-in request retries. Connection errors, 5xx
+// responses, and 429 rejections are retried with exponential backoff and
+// jitter; other 4xx responses and context cancellation are not. When a
+// response carries a Retry-After / retry_after_ms hint the client waits
+// exactly that long (capped by MaxDelay) instead of its own backoff, so
+// rejected clients drain in the server's own rhythm. Every endpoint of the
+// service is a pure computation, so retrying POSTs is safe.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries including the first. Values
 	// below 2 disable retries.
@@ -191,7 +215,7 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*J
 			return nil, err
 		}
 		switch info.State {
-		case JobDone, JobFailed, JobCancelled:
+		case JobDone, JobFailed, JobCancelled, JobShed:
 			return info, nil
 		}
 		if err := sleepCtx(ctx, poll); err != nil {
@@ -207,11 +231,7 @@ func (c *Client) get(ctx context.Context, path string, out interface{}) error {
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
-		var apiErr errorResponse
-		if decodeErr := json.NewDecoder(resp.Body).Decode(&apiErr); decodeErr == nil && apiErr.Error != "" {
-			return fmt.Errorf("api: %s: status %d: %s", path, resp.StatusCode, apiErr.Error)
-		}
-		return fmt.Errorf("api: %s: status %d", path, resp.StatusCode)
+		return fmt.Errorf("api: %s: %w", path, newAPIError(resp))
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("api: decoding response: %w", err)
@@ -221,6 +241,24 @@ func (c *Client) get(ctx context.Context, path string, out interface{}) error {
 
 func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
 	return c.postStatus(ctx, path, http.StatusOK, in, out)
+}
+
+// newAPIError builds the typed error from a non-success response body.
+func newAPIError(resp *http.Response) *APIError {
+	e := &APIError{Status: resp.StatusCode}
+	var apiErr errorResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&apiErr); err == nil {
+		e.Msg = apiErr.Error
+		e.RetryAfterMS = apiErr.RetryAfterMS
+	}
+	if e.RetryAfterMS == 0 {
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+				e.RetryAfterMS = int64(secs) * 1000
+			}
+		}
+	}
+	return e
 }
 
 // postStatus posts in and decodes the response into out, expecting the
@@ -240,11 +278,7 @@ func (c *Client) postStatus(ctx context.Context, path string, want int, in, out 
 	}
 	defer drain(resp)
 	if resp.StatusCode != want {
-		var apiErr errorResponse
-		if decodeErr := json.NewDecoder(resp.Body).Decode(&apiErr); decodeErr == nil && apiErr.Error != "" {
-			return fmt.Errorf("api: %s: status %d: %s", path, resp.StatusCode, apiErr.Error)
-		}
-		return fmt.Errorf("api: %s: status %d", path, resp.StatusCode)
+		return fmt.Errorf("api: %s: %w", path, newAPIError(resp))
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("api: decoding response: %w", err)
@@ -252,22 +286,32 @@ func (c *Client) postStatus(ctx context.Context, path string, want int, in, out 
 	return nil
 }
 
-// roundTrip issues one request, retrying connection errors and 5xx
-// responses under the client's RetryPolicy. The request is rebuilt from the
-// body bytes on every attempt. Non-5xx responses are returned as-is for the
-// caller to interpret.
+// roundTrip issues one request, retrying connection errors, 5xx responses,
+// and 429 rejections under the client's RetryPolicy. The request is
+// rebuilt from the body bytes on every attempt. Other responses are
+// returned as-is for the caller to interpret.
 func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
 	attempts := 1
 	if c.retry != nil && c.retry.MaxAttempts > 1 {
 		attempts = c.retry.MaxAttempts
 	}
 	var lastErr error
+	var hint time.Duration
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			if err := sleepCtx(ctx, c.retry.backoff(a, c.rng)); err != nil {
+			delay := c.retry.backoff(a, c.rng)
+			if hint > 0 {
+				// Honor the server's hint exactly, capped by MaxDelay.
+				delay = hint
+				if max := c.retry.maxDelay(); delay > max {
+					delay = max
+				}
+			}
+			if err := sleepCtx(ctx, delay); err != nil {
 				return nil, fmt.Errorf("%v (giving up: %w)", lastErr, err)
 			}
 		}
+		hint = 0
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
@@ -287,7 +331,9 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 			lastErr = err
 			continue
 		}
-		if resp.StatusCode >= 500 && a+1 < attempts {
+		retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+		if retryable && a+1 < attempts {
+			hint = retryAfterHint(resp)
 			drain(resp)
 			lastErr = fmt.Errorf("status %d", resp.StatusCode)
 			continue
@@ -295,6 +341,32 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 		return resp, nil
 	}
 	return nil, lastErr
+}
+
+// maxDelay resolves the policy's effective cap (default 5s, matching
+// backoff).
+func (p RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return 5 * time.Second
+}
+
+// retryAfterHint extracts the server's backoff hint from a response: the
+// structured retry_after_ms body field when present, else the Retry-After
+// header (whole seconds). The body read is capped — error envelopes are
+// tiny — and zero means no hint.
+func retryAfterHint(resp *http.Response) time.Duration {
+	var apiErr errorResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&apiErr); err == nil && apiErr.RetryAfterMS > 0 {
+		return time.Duration(apiErr.RetryAfterMS) * time.Millisecond
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
 }
 
 // sleepCtx waits for d or until ctx is done, whichever comes first.

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"reco/internal/online"
+	"reco/internal/parallel"
+	"reco/internal/workload"
+)
+
+// Admission compares deadline-aware admission policies under increasing
+// offered load (the ROADMAP's Sincronia direction, SNIPPETS.md #1): the
+// same seeded arrival stream — coflows with weights in {1,2,4,8} and
+// deadlines a few bottleneck-times past arrival — is replayed at several
+// arrival-rate multipliers through the EDF online controller fronted by
+// admit-all (the no-admission baseline), the greedy weighted packing, and
+// the LP admitter. Reported per (load, admitter) row: the fraction of
+// coflows admitted, the fraction of total weight admitted, the deadline
+// miss rate among admitted coflows, the mean weighted CCT of admitted
+// coflows, and reconfiguration count. The shape that matters: as load
+// grows past capacity, admit-all's miss rate explodes while the LP keeps
+// admitted misses low at admitted weight no lower than greedy's.
+//
+// The experiment is registered as "admission" but intentionally not part
+// of Order(), so `recobench -exp all` output is unchanged; regenerate
+// results/admission.csv with `recobench -exp admission -outdir results`.
+func Admission(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:    "admission",
+		Title: fmt.Sprintf("Deadline-aware admission under load (edf serving, delta=%d, c=%d)", cfg.Delta, cfg.C),
+		Columns: []string{
+			"admit%", "weight%", "miss%", "wCCT(adm)", "reconfigs",
+		},
+		Notes: []string{
+			"load multiplies the arrival rate of one seeded stream; deadlines are rho*[2,5) past arrival, weights in {1,2,4,8}",
+			"miss% counts admitted deadline-bearing coflows finishing late; admit-all is the no-admission baseline",
+		},
+	}
+
+	coflows, err := workload.Generate(workload.GenConfig{
+		N: cfg.MulN, NumCoflows: cfg.MulCoflows * 3, Seed: cfg.Seed,
+		MinDemand: cfg.C * cfg.Delta, MeanDemand: cfg.C * cfg.Delta,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("admission: %w", err)
+	}
+
+	type variant struct {
+		load float64
+		adm  online.Admitter
+	}
+	loads := []float64{0.5, 1, 2, 4}
+	var variants []variant
+	for _, load := range loads {
+		for _, adm := range []online.Admitter{online.AdmitAll{}, online.GreedyAdmit{}, online.LPAdmit{}} {
+			variants = append(variants, variant{load, adm})
+		}
+	}
+
+	rows, err := parallel.Map(cfg.workers(), len(variants), func(i int) (Row, error) {
+		v := variants[i]
+		arrivals := admissionArrivals(cfg, coflows, v.load)
+		res, err := online.SimulateAdmit(arrivals, v.adm, online.EDF{}, cfg.Delta, cfg.C)
+		if err != nil {
+			return Row{}, fmt.Errorf("admission %s @%gx: %w", v.adm.Name(), v.load, err)
+		}
+		admitted, wcct := 0, 0.0
+		var wcctWeight float64
+		for k := range arrivals {
+			if res.Rejected[k] {
+				continue
+			}
+			admitted++
+			w := arrivals[k].Weight
+			wcct += w * float64(res.CCTs[k])
+			wcctWeight += w
+		}
+		meanWCCT := 0.0
+		if wcctWeight > 0 {
+			meanWCCT = wcct / wcctWeight
+		}
+		label := fmt.Sprintf("%gx/%s", v.load, v.adm.Name())
+		return Row{Label: label, Cells: []float64{
+			100 * float64(admitted) / float64(len(arrivals)),
+			100 * res.AdmittedWeight / res.TotalWeight,
+			100 * res.MissRate(),
+			meanWCCT,
+			float64(res.Reconfigs),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	return t, nil
+}
+
+// admissionArrivals builds the seeded arrival stream at a given load
+// multiplier. The base inter-arrival gap matches ExtOnline's "switch
+// loaded without unbounded queueing" regime; load scales the rate, so 4x
+// compresses gaps to a quarter.
+func admissionArrivals(cfg Config, coflows []workload.Coflow, load float64) []online.Arrival {
+	rng := parallel.Rand(cfg.Seed, saltAdmission)
+	arrivals := make([]online.Arrival, len(coflows))
+	var at int64
+	for i, c := range coflows {
+		rho := c.Demand.MaxRowColSum()
+		weight := float64(int64(1) << rng.Intn(4))
+		slack := 2 + 3*rng.Float64()
+		arrivals[i] = online.Arrival{
+			Demand:   c.Demand,
+			At:       at,
+			Weight:   weight,
+			Deadline: at + int64(slack*float64(rho)),
+		}
+		gap := rng.Int63n(4 * cfg.C * cfg.Delta)
+		at += int64(float64(gap) / load)
+	}
+	return arrivals
+}

@@ -236,6 +236,9 @@ func registry() map[string]Runner {
 		"ext-scale":      ExtScale,
 		"ext-nas":        ExtNAS,
 		"ext-full":       ExtFull,
+		// Registered but not in Order(): regenerate results/admission.csv
+		// explicitly with `recobench -exp admission -outdir results`.
+		"admission": Admission,
 	}
 }
 

@@ -32,6 +32,7 @@ const (
 	saltOptics
 	saltScale
 	saltNAS
+	saltAdmission
 )
 
 func className(cl workload.Class) string {

@@ -20,13 +20,23 @@ const (
 // simulated-tick spans/instants via TickSpan/TickInstant. It is safe for
 // concurrent use; all methods are nil-safe no-ops, so instrumented code
 // can call through an absent tracer for free.
+//
+// A tracer from NewTracer grows without bound — fine for short recosim
+// runs, wrong for long rate-based or load-test sessions. NewTracerCap
+// bounds it with a ring buffer: once full, each new event overwrites the
+// oldest and Dropped counts the overwritten ones, so the trace always
+// holds the most recent window and the drop counter says how much history
+// it lost.
 type Tracer struct {
-	mu     sync.Mutex
-	start  time.Time
-	events []traceEvent
-	slots  []bool         // wall-span rows in use, index = tid
-	tracks map[string]int // tick track name -> tid
-	order  []string       // tick tracks in first-use order
+	mu      sync.Mutex
+	start   time.Time
+	events  []traceEvent
+	cap     int            // ring capacity; 0 = unbounded
+	head    int            // index of the oldest event when the ring is full
+	dropped int64          // events overwritten by the ring
+	slots   []bool         // wall-span rows in use, index = tid
+	tracks  map[string]int // tick track name -> tid
+	order   []string       // tick tracks in first-use order
 }
 
 type traceEvent struct {
@@ -41,9 +51,49 @@ type traceEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// NewTracer returns a tracer whose wall-clock origin is now.
+// NewTracer returns an unbounded tracer whose wall-clock origin is now.
 func NewTracer() *Tracer {
-	return &Tracer{start: time.Now(), tracks: make(map[string]int)}
+	return NewTracerCap(0)
+}
+
+// NewTracerCap returns a tracer bounded to the most recent n events (a
+// ring buffer; see the Tracer doc). n <= 0 means unbounded.
+func NewTracerCap(n int) *Tracer {
+	if n < 0 {
+		n = 0
+	}
+	return &Tracer{start: time.Now(), cap: n, tracks: make(map[string]int)}
+}
+
+// Dropped returns how many events the ring buffer has overwritten. It is
+// always 0 for an unbounded tracer.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// recordLocked appends an event, overwriting the oldest when the ring is
+// full; t.mu must be held.
+func (t *Tracer) recordLocked(ev traceEvent) {
+	if t.cap <= 0 || len(t.events) < t.cap {
+		t.events = append(t.events, ev)
+		return
+	}
+	t.events[t.head] = ev
+	t.head = (t.head + 1) % t.cap
+	t.dropped++
+}
+
+// snapshotLocked copies the events in recording order; t.mu must be held.
+func (t *Tracer) snapshotLocked() []traceEvent {
+	out := make([]traceEvent, 0, len(t.events))
+	out = append(out, t.events[t.head:]...)
+	out = append(out, t.events[:t.head]...)
+	return out
 }
 
 // Begin opens a wall-clock span and returns the function that closes it.
@@ -70,7 +120,7 @@ func (t *Tracer) Begin(cat, name string) func(args map[string]any) {
 	return func(args map[string]any) {
 		dur := time.Since(t.start) - start
 		t.mu.Lock()
-		t.events = append(t.events, traceEvent{
+		t.recordLocked(traceEvent{
 			Name: name, Cat: cat, Ph: "X", PID: pidWall, TID: tid,
 			TS: start.Microseconds(), Dur: max64(dur.Microseconds(), 1), Args: args,
 		})
@@ -89,7 +139,7 @@ func (t *Tracer) TickSpan(track, name string, start, end int64, args map[string]
 		return
 	}
 	t.mu.Lock()
-	t.events = append(t.events, traceEvent{
+	t.recordLocked(traceEvent{
 		Name: name, Ph: "X", PID: pidSim, TID: t.trackLocked(track),
 		TS: start, Dur: max64(end-start, 1), Args: args,
 	})
@@ -102,7 +152,7 @@ func (t *Tracer) TickInstant(track, name string, tick int64, args map[string]any
 		return
 	}
 	t.mu.Lock()
-	t.events = append(t.events, traceEvent{
+	t.recordLocked(traceEvent{
 		Name: name, Ph: "i", PID: pidSim, TID: t.trackLocked(track),
 		TS: tick, S: "t", Args: args,
 	})
@@ -140,7 +190,7 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		return err
 	}
 	t.mu.Lock()
-	events := append([]traceEvent(nil), t.events...)
+	events := t.snapshotLocked()
 	tracks := append([]string(nil), t.order...)
 	t.mu.Unlock()
 

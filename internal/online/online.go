@@ -21,11 +21,15 @@ import (
 // ErrBadInput reports an unusable arrival sequence or policy decision.
 var ErrBadInput = errors.New("online: invalid input")
 
-// Arrival is one coflow arriving at time At (ticks).
+// Arrival is one coflow arriving at time At (ticks). Deadline, when
+// positive, is the absolute tick by which the coflow should complete;
+// zero means no deadline. Only EDF and the admission controllers look at
+// it — the original policies ignore deadlines entirely.
 type Arrival struct {
-	Demand *matrix.Matrix
-	At     int64
-	Weight float64
+	Demand   *matrix.Matrix
+	At       int64
+	Weight   float64
+	Deadline int64
 }
 
 // Policy decides which pending coflows the switch serves next.
