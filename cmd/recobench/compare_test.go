@@ -4,7 +4,10 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
+
+	"reco/internal/experiments"
 )
 
 func TestDiffBench(t *testing.T) {
@@ -87,5 +90,41 @@ func TestRunCompare(t *testing.T) {
 	writeJSON(oldPath, `not json`)
 	if code := runCompare(oldPath, newPath, 10); code != 2 {
 		t.Errorf("bad json: exit %d, want 2", code)
+	}
+}
+
+func TestExpandExpList(t *testing.T) {
+	registry := experiments.Registry()
+	order := experiments.Order()
+
+	ids, err := expandExpList("all", registry)
+	if err != nil {
+		t.Fatalf("all: %v", err)
+	}
+	if !reflect.DeepEqual(ids, order) {
+		t.Fatalf("all = %v, want Order() %v", ids, order)
+	}
+
+	ids, err = expandExpList("all,kcore", registry)
+	if err != nil {
+		t.Fatalf("all,kcore: %v", err)
+	}
+	if !reflect.DeepEqual(ids, append(append([]string{}, order...), "kcore")) {
+		t.Fatalf("all,kcore = %v, want Order() plus kcore", ids)
+	}
+
+	ids, err = expandExpList("kcore, admission ,kcore", registry)
+	if err != nil {
+		t.Fatalf("dup list: %v", err)
+	}
+	if !reflect.DeepEqual(ids, []string{"kcore", "admission"}) {
+		t.Fatalf("dup list = %v, want [kcore admission]", ids)
+	}
+
+	if _, err := expandExpList("all,definitely-not-real", registry); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if _, err := expandExpList("kcore,,admission", registry); err == nil {
+		t.Error("empty id accepted")
 	}
 }

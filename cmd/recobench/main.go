@@ -5,6 +5,7 @@
 //
 //	recobench -exp fig4a            # one experiment
 //	recobench -exp all              # everything, in presentation order
+//	recobench -exp all,kcore        # presentation order plus an off-order id
 //	recobench -exp fig6 -csv        # machine-readable output
 //	recobench -list                 # available experiment ids
 //	recobench -compare old.json new.json   # diff two -bench outputs
@@ -24,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -38,7 +40,7 @@ func main() {
 
 func run() int {
 	var (
-		exp        = flag.String("exp", "all", "experiment id, or 'all'")
+		exp        = flag.String("exp", "all", "comma-separated experiment ids; 'all' expands to the presentation order")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		seed       = flag.Int64("seed", 1, "workload seed")
@@ -110,15 +112,10 @@ func run() int {
 		Workers:       *workersN,
 	}
 
-	var ids []string
-	if *exp == "all" {
-		ids = experiments.Order()
-	} else {
-		if _, ok := registry[*exp]; !ok {
-			fmt.Fprintf(os.Stderr, "recobench: unknown experiment %q (use -list)\n", *exp)
-			return 2
-		}
-		ids = []string{*exp}
+	ids, err := expandExpList(*exp, registry)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recobench: %v\n", err)
+		return 2
 	}
 
 	if *bench {
@@ -188,6 +185,38 @@ func run() int {
 		fmt.Println()
 	}
 	return 0
+}
+
+// expandExpList resolves a comma-separated -exp value into experiment ids:
+// "all" expands in place to the presentation order, every id must be
+// registered, and duplicates collapse to their first occurrence so
+// "all,kcore" never runs an experiment twice.
+func expandExpList(spec string, registry map[string]experiments.Runner) ([]string, error) {
+	var ids []string
+	seen := make(map[string]bool)
+	add := func(id string) {
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		switch {
+		case part == "":
+			return nil, fmt.Errorf("empty experiment id in %q", spec)
+		case part == "all":
+			for _, id := range experiments.Order() {
+				add(id)
+			}
+		default:
+			if _, ok := registry[part]; !ok {
+				return nil, fmt.Errorf("unknown experiment %q (use -list)", part)
+			}
+			add(part)
+		}
+	}
+	return ids, nil
 }
 
 // benchRecord matches the BENCH_*.json schema used to track the perf

@@ -87,6 +87,7 @@ func runSingle(ctx context.Context, client *api.Client, args []string, stdin io.
 	delta := fs.Int64("delta", 100, "reconfiguration delay in ticks")
 	deadlineMS := fs.Int64("deadline-ms", 0, "request SLA in milliseconds (0 = none); the server answers 504 past it")
 	weight := fs.Float64("weight", 0, "admission weight (0 = default 1); heavier requests are shed last under overload")
+	cores := fs.Int("cores", 0, "K-core fabric width (0 or 1 = single switch; K > 1 needs a cores-capable algorithm)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,7 +96,7 @@ func runSingle(ctx context.Context, client *api.Client, args []string, stdin io.
 		return err
 	}
 	resp, err := client.ScheduleSingle(ctx, api.SingleRequest{
-		Demand: demand, Delta: *delta, DeadlineMS: *deadlineMS, Weight: *weight,
+		Demand: demand, Delta: *delta, DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores,
 	})
 	if err != nil {
 		return err
@@ -111,6 +112,7 @@ func runMulti(ctx context.Context, client *api.Client, args []string, stdin io.R
 	c := fs.Int64("c", 4, "optical transmission threshold")
 	deadlineMS := fs.Int64("deadline-ms", 0, "request SLA in milliseconds (0 = none); the server answers 504 past it")
 	weight := fs.Float64("weight", 0, "admission weight (0 = default 1); heavier requests are shed last under overload")
+	cores := fs.Int("cores", 0, "K-core fabric width (0 or 1 = single switch; K > 1 needs a cores-capable algorithm)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,7 +121,7 @@ func runMulti(ctx context.Context, client *api.Client, args []string, stdin io.R
 		return err
 	}
 	resp, err := client.ScheduleMulti(ctx, api.MultiRequest{
-		Demands: demands, Delta: *delta, C: *c, DeadlineMS: *deadlineMS, Weight: *weight,
+		Demands: demands, Delta: *delta, C: *c, DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores,
 	})
 	if err != nil {
 		return err
@@ -188,6 +190,7 @@ func runJobSubmit(ctx context.Context, client *api.Client, args []string, stdin 
 	alg := fs.String("alg", "", "algorithm name (empty: the kind's default)")
 	deadlineMS := fs.Int64("deadline-ms", 0, "job SLA in milliseconds (0 = none); drives admission and miss reporting")
 	weight := fs.Float64("weight", 0, "admission weight (0 = default 1); heavier jobs are shed last under overload")
+	cores := fs.Int("cores", 0, "K-core fabric width (0 or 1 = single switch; K > 1 needs a cores-capable algorithm)")
 	wait := fs.Bool("wait", false, "poll until the job finishes and print the final state")
 	poll := fs.Duration("poll", 100*time.Millisecond, "polling interval with -wait")
 	if err := fs.Parse(args); err != nil {
@@ -202,7 +205,7 @@ func runJobSubmit(ctx context.Context, client *api.Client, args []string, stdin 
 		}
 		req.Single = &api.SingleRequest{
 			Demand: demand, Delta: *delta, Algorithm: *alg,
-			DeadlineMS: *deadlineMS, Weight: *weight,
+			DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores,
 		}
 	case "multi":
 		demands, err := readDemands(*demandsPath, stdin)
@@ -211,7 +214,7 @@ func runJobSubmit(ctx context.Context, client *api.Client, args []string, stdin 
 		}
 		req.Multi = &api.MultiRequest{
 			Demands: demands, Delta: *delta, C: *c, Algorithm: *alg,
-			DeadlineMS: *deadlineMS, Weight: *weight,
+			DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores,
 		}
 	default:
 		return fmt.Errorf("unknown job kind %q", *kind)

@@ -9,6 +9,7 @@
 //	eclipse          Eclipse-style greedy throughput-per-cost circuit schedule per coflow
 //	helios           Helios/c-Through slotted max-weight matching (slot = 4*delta) per coflow
 //	hybrid           hybrid switch: elephants (>= c*delta) via Reco-Sin on the OCS, mice via a 10x-slower packet network
+//	kcore            O(K)-approximation K-core scheduler: SEBF coflow order, greedy demand split across -cores switching cores, Reco-Sin per core share
 //	lp-ii-gb         LP-II-GB baseline: interval-indexed LP estimate order, first-fit BvN per coflow
 //	lp-ii-gb-group   grouped LP-II-GB: coflows sharing an LP interval merged into one aggregate BvN schedule
 //	online-batch     online controller, batch admission: all pending coflows through Reco-Mul
@@ -25,6 +26,11 @@
 // Example:
 //
 //	recosim -alg reco-mul -n 40 -coflows 20 -delta 100 -c 4 -percoflow
+//
+// With -cores K (K > 1) the fabric is a K-core OCS — K parallel switching
+// cores sharing the ports, one transceiver per core per port (see
+// docs/TOPOLOGY.md). Only algorithms advertising the cores capability
+// accept K > 1; -cores 1 is the paper's single switch for every algorithm.
 //
 // Scheduling honors Ctrl-C: cancelling the run aborts in-flight LP solves
 // and BvN decompositions.
@@ -75,6 +81,7 @@ func run() int {
 		seed       = flag.Int64("seed", 1, "synthetic workload seed")
 		delta      = flag.Int64("delta", 100, "reconfiguration delay in ticks")
 		c          = flag.Int64("c", 4, "optical transmission threshold")
+		cores      = flag.Int("cores", 1, "parallel switching cores K (K > 1 needs an algorithm with the cores capability)")
 		rescale    = flag.Int("rescale", 0, "fold the workload onto this many ports (0: keep)")
 		perCoflow  = flag.Bool("percoflow", false, "print each coflow's CCT")
 		showGantt  = flag.Bool("gantt", false, "render the schedule as an ASCII Gantt chart")
@@ -95,6 +102,10 @@ func run() int {
 	if *alg == "list" {
 		fmt.Print(listAlgorithms())
 		return 0
+	}
+	if err := validateCores(*cores, *withFaults); err != nil {
+		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
+		return 1
 	}
 
 	// Ctrl-C / SIGTERM cancels the scheduling context: in-flight LP solves
@@ -152,7 +163,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
 		return 1
 	}
-	res, err := sched.Schedule(ctx, algo.Request{Demands: ds, Weights: w, Delta: *delta, C: *c})
+	if err := checkCoresCap(*alg, sched.Caps(), *cores); err != nil {
+		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
+		return 1
+	}
+	res, err := sched.Schedule(ctx, algo.Request{Demands: ds, Weights: w, Delta: *delta, C: *c, Cores: *cores})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
 		return 1
@@ -179,6 +194,9 @@ func run() int {
 	fmt.Printf("algorithm      %s\n", *alg)
 	fmt.Printf("coflows        %d on %d ports\n", len(ds), ds[0].N())
 	fmt.Printf("delta, c       %d ticks, %d\n", *delta, *c)
+	if *cores > 1 {
+		fmt.Printf("cores          %d\n", *cores)
+	}
 	fmt.Printf("reconfigs      %d\n", reconfigs)
 	fmt.Printf("avg CCT        %.0f ticks\n", mean)
 	fmt.Printf("95p CCT        %.0f ticks\n", p95)
@@ -220,6 +238,27 @@ func listAlgorithms() string {
 	return b.String()
 }
 
+// validateCores rejects malformed -cores values before any scheduling work:
+// K < 1 is never a fabric, and the fault simulator models the single switch.
+func validateCores(cores int, faulted bool) error {
+	if cores < 1 {
+		return fmt.Errorf("-cores %d: core count must be at least 1", cores)
+	}
+	if cores > 1 && faulted {
+		return fmt.Errorf("-faults runs the single-switch fault simulator; -cores must be 1")
+	}
+	return nil
+}
+
+// checkCoresCap rejects -cores K > 1 for algorithms that schedule a single
+// switch and would silently ignore the extra cores.
+func checkCoresCap(alg string, caps algo.Capabilities, cores int) error {
+	if cores > 1 && !caps.Cores {
+		return fmt.Errorf("-cores %d: algorithm %s schedules a single switch (no cores capability)", cores, alg)
+	}
+	return nil
+}
+
 // capTags renders capability flags compactly, e.g.
 // "[single multi flows]" or "[single not-all-stop]".
 func capTags(c algo.Capabilities) string {
@@ -235,6 +274,9 @@ func capTags(c algo.Capabilities) string {
 	}
 	if c.FlowLevel {
 		tags = append(tags, "flows")
+	}
+	if c.Cores {
+		tags = append(tags, "cores")
 	}
 	return "[" + strings.Join(tags, " ") + "]"
 }

@@ -82,6 +82,35 @@ func TestReadmeListsRegistry(t *testing.T) {
 	}
 }
 
+// TestCoresValidation: -cores K < 1 and -cores with -faults are rejected
+// with clear errors, and K > 1 requires the cores capability.
+func TestCoresValidation(t *testing.T) {
+	if err := validateCores(0, false); err == nil {
+		t.Error("-cores 0 accepted")
+	}
+	if err := validateCores(-3, false); err == nil {
+		t.Error("-cores -3 accepted")
+	}
+	if err := validateCores(2, true); err == nil {
+		t.Error("-cores 2 with -faults accepted")
+	}
+	if err := validateCores(1, true); err != nil {
+		t.Errorf("-cores 1 with -faults rejected: %v", err)
+	}
+	if err := validateCores(4, false); err != nil {
+		t.Errorf("-cores 4 rejected: %v", err)
+	}
+	if err := checkCoresCap("reco-sin", algo.Capabilities{}, 2); err == nil {
+		t.Error("-cores 2 accepted for a single-switch algorithm")
+	}
+	if err := checkCoresCap("kcore", algo.Capabilities{Cores: true}, 8); err != nil {
+		t.Errorf("-cores 8 rejected for a cores-capable algorithm: %v", err)
+	}
+	if err := checkCoresCap("reco-sin", algo.Capabilities{}, 1); err != nil {
+		t.Errorf("-cores 1 rejected for a single-switch algorithm: %v", err)
+	}
+}
+
 // TestListAlgorithmsOutput: `-alg list` prints one line per registered
 // scheduler, leading with its name.
 func TestListAlgorithmsOutput(t *testing.T) {

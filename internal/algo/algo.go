@@ -65,6 +65,10 @@ const (
 	NameOnlineSEBF     = "online-sebf"
 	NameOnlineBatch    = "online-batch"
 	NameOnlineDisjoint = "online-disjoint"
+	// NameKCore is the K-core O(K)-approximation scheduler: SEBF coflow
+	// order, load-balanced demand splitting across Request.Cores switching
+	// cores, Reco-Sin per core share.
+	NameKCore = "kcore"
 )
 
 // Capabilities describes what a Scheduler supports, for dispatchers that
@@ -84,6 +88,10 @@ type Capabilities struct {
 	// Aggregate-only algorithms (hybrid, the online policies) report CCTs
 	// and reconfiguration counts without per-flow intervals.
 	FlowLevel bool
+	// Cores: the algorithm honors Request.Cores and schedules across a
+	// multi-core fabric. Algorithms without it treat every request as
+	// single-core and dispatchers must reject Cores > 1 for them.
+	Cores bool
 }
 
 // Request is the unified scheduling input: a coflow set with optional
@@ -100,6 +108,10 @@ type Request struct {
 	// C is the optical transmission threshold (Reco-Mul's grid parameter);
 	// algorithms that do not use it ignore it.
 	C int64
+	// Cores is the number of parallel switching cores of the fabric; 0 and 1
+	// both mean the paper's single switch. Only algorithms whose
+	// Capabilities.Cores is set honor values above 1.
+	Cores int
 }
 
 // Result is the unified scheduling output.
@@ -152,6 +164,9 @@ func ValidateRequest(req Request) error {
 	}
 	if req.Delta < 0 {
 		return fmt.Errorf("%w: negative delta %d", ErrBadRequest, req.Delta)
+	}
+	if req.Cores < 0 {
+		return fmt.Errorf("%w: negative core count %d", ErrBadRequest, req.Cores)
 	}
 	return nil
 }

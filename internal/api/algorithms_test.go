@@ -29,10 +29,14 @@ func TestAlgorithmsEndpoint(t *testing.T) {
 	if !reflect.DeepEqual(names, algo.Names()) {
 		t.Fatalf("endpoint lists %v, registry has %v", names, algo.Names())
 	}
-	// Spot-check a capability: sunflow is the registry's not-all-stop entry.
+	// Spot-check capabilities: sunflow is the registry's not-all-stop entry
+	// and kcore its only cores-capable scheduler.
 	for _, a := range resp.Algorithms {
 		if a.Name == algo.NameSunflow && !a.Capabilities.NotAllStop {
 			t.Errorf("sunflow should report the not-all-stop capability")
+		}
+		if a.Name == algo.NameKCore && !a.Capabilities.Cores {
+			t.Errorf("kcore should report the cores capability")
 		}
 	}
 }
@@ -144,5 +148,54 @@ func TestScheduleMultiAlgorithmField(t *testing.T) {
 	}
 	if len(lp.CCTs) != len(demands) {
 		t.Fatalf("lp-ii-gb returned %d CCTs for %d coflows", len(lp.CCTs), len(demands))
+	}
+}
+
+// TestScheduleMultiCoresField: the cores field reaches the scheduler —
+// cores 0 and 1 agree on the single switch, a wider fabric is served, and a
+// negative core count is a 400, not a crash.
+func TestScheduleMultiCoresField(t *testing.T) {
+	srv, client := newTestServer(t)
+	defer srv.Close()
+	demands := [][][]int64{
+		{{0, 400, 300}, {200, 0, 400}, {400, 100, 0}},
+		{{0, 0, 400}, {400, 0, 0}, {0, 400, 0}},
+	}
+
+	k0, err := client.ScheduleMulti(context.Background(),
+		MultiRequest{Demands: demands, Delta: 100, C: 4, Algorithm: algo.NameKCore})
+	if err != nil {
+		t.Fatalf("kcore cores=0: %v", err)
+	}
+	k1, err := client.ScheduleMulti(context.Background(),
+		MultiRequest{Demands: demands, Delta: 100, C: 4, Algorithm: algo.NameKCore, Cores: 1})
+	if err != nil {
+		t.Fatalf("kcore cores=1: %v", err)
+	}
+	if !reflect.DeepEqual(k0, k1) {
+		t.Error("cores 0 and 1 disagree on the single switch")
+	}
+	k2, err := client.ScheduleMulti(context.Background(),
+		MultiRequest{Demands: demands, Delta: 100, C: 4, Algorithm: algo.NameKCore, Cores: 2})
+	if err != nil {
+		t.Fatalf("kcore cores=2: %v", err)
+	}
+	if len(k2.CCTs) != len(demands) {
+		t.Fatalf("cores=2 returned %d CCTs for %d coflows", len(k2.CCTs), len(demands))
+	}
+
+	for _, bad := range []MultiRequest{
+		{Demands: demands, Delta: 100, C: 4, Algorithm: algo.NameKCore, Cores: -2},
+		{Demands: demands, Delta: 100, C: 4, Algorithm: algo.NameRecoMul, Cores: 3},
+	} {
+		body, _ := json.Marshal(bad)
+		resp, err := http.Post(srv.URL+"/v1/schedule/multi", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("cores=%d on %s: status = %d, want 400", bad.Cores, bad.Algorithm, resp.StatusCode)
+		}
 	}
 }

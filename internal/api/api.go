@@ -112,6 +112,10 @@ func (s *Server) schedule(ctx context.Context, name string, req algo.Request) (*
 	if err != nil {
 		return nil, err
 	}
+	if req.Cores > 1 && !sched.Caps().Cores {
+		return nil, fmt.Errorf("%w: cores %d: algorithm %s schedules a single switch (no cores capability)",
+			algo.ErrBadRequest, req.Cores, name)
+	}
 	if s.group == nil {
 		return sched.Schedule(ctx, req)
 	}
@@ -140,6 +144,10 @@ type SingleRequest struct {
 	// weights are shed last. Zero means 1. It never affects the computed
 	// schedule (or its cache key), only which work survives overload.
 	Weight float64 `json:"weight,omitempty"`
+	// Cores is the K-core fabric width (docs/TOPOLOGY.md). 0 and 1 both
+	// mean the paper's single switch; K > 1 needs an algorithm whose
+	// capabilities include cores.
+	Cores int `json:"cores,omitempty"`
 }
 
 // toAlgo validates the request into the registry shape.
@@ -152,7 +160,7 @@ func (r SingleRequest) toAlgo() (string, algo.Request, error) {
 	if name == "" {
 		name = algo.NameRecoSin
 	}
-	return name, algo.Request{Demands: []*matrix.Matrix{d}, Delta: r.Delta, C: defaultC}, nil
+	return name, algo.Request{Demands: []*matrix.Matrix{d}, Delta: r.Delta, C: defaultC, Cores: r.Cores}, nil
 }
 
 // Assignment mirrors ocs.Assignment for the wire.
@@ -204,6 +212,8 @@ type MultiRequest struct {
 	// Weight is the request's admission weight; see SingleRequest.Weight.
 	// It is distinct from Weights, which shapes the schedule itself.
 	Weight float64 `json:"weight,omitempty"`
+	// Cores is the K-core fabric width; see SingleRequest.Cores.
+	Cores int `json:"cores,omitempty"`
 }
 
 // toAlgo validates the request into the registry shape.
@@ -223,7 +233,7 @@ func (r MultiRequest) toAlgo() (string, algo.Request, error) {
 	if name == "" {
 		name = algo.NameRecoMul
 	}
-	return name, algo.Request{Demands: ds, Weights: r.Weights, Delta: r.Delta, C: r.C}, nil
+	return name, algo.Request{Demands: ds, Weights: r.Weights, Delta: r.Delta, C: r.C, Cores: r.Cores}, nil
 }
 
 // Flow mirrors schedule.FlowInterval for the wire.
@@ -278,6 +288,7 @@ type Capabilities struct {
 	MultiCoflow  bool `json:"multiCoflow"`
 	NotAllStop   bool `json:"notAllStop"`
 	FlowLevel    bool `json:"flowLevel"`
+	Cores        bool `json:"cores"`
 }
 
 // AlgorithmsResponse lists the scheduler registry in deterministic order.
@@ -378,6 +389,7 @@ func handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 				MultiCoflow:  c.MultiCoflow,
 				NotAllStop:   c.NotAllStop,
 				FlowLevel:    c.FlowLevel,
+				Cores:        c.Cores,
 			},
 		})
 	}

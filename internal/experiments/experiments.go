@@ -237,8 +237,10 @@ func registry() map[string]Runner {
 		"ext-nas":        ExtNAS,
 		"ext-full":       ExtFull,
 		// Registered but not in Order(): regenerate results/admission.csv
-		// explicitly with `recobench -exp admission -outdir results`.
+		// and results/kcore.csv explicitly with
+		// `recobench -exp <id> -outdir results`.
 		"admission": Admission,
+		"kcore":     KCore,
 	}
 }
 

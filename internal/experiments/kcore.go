@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"reco/internal/kcore"
+	"reco/internal/matrix"
+	"reco/internal/parallel"
+	"reco/internal/topology"
+	"reco/internal/workload"
+)
+
+// kcoreWidths is the fabric-width sweep the kcore experiment publishes.
+var kcoreWidths = []int{1, 2, 4, 8}
+
+// KCore sweeps the K-core fabric width over per-density-class coflow
+// batches (docs/TOPOLOGY.md): for each class and each K in {1,2,4,8}, the
+// same batch is scheduled by the O(K)-approximation pipeline (SEBF order,
+// greedy demand split, Reco-Sin per core share) and by the naive
+// round-robin split. Reported per row: the batch makespan under each split,
+// the round-robin/greedy ratio, and the batch's K-core lower bound
+// (sum over coflows of ceil(rho/K) + ceil(tau/K)*delta). The shapes that
+// matter: the greedy makespan is non-increasing in K within each class, and
+// round-robin never beats greedy — size-blind cyclic dealing loads one core
+// with the elephants the greedy split spreads out.
+//
+// The experiment is registered as "kcore" but intentionally not part of
+// Order(), so `recobench -exp all` output is unchanged; regenerate
+// results/kcore.csv with `recobench -exp kcore -outdir results`.
+func KCore(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:    "kcore",
+		Title: fmt.Sprintf("K-core fabric sweep (greedy vs round-robin split, delta=%d, c=%d)", cfg.Delta, cfg.C),
+		Columns: []string{
+			"greedy", "roundrobin", "rr/greedy", "LB",
+		},
+		Notes: []string{
+			"makespan in ticks of one per-density-class batch, SEBF order, Reco-Sin per core share",
+			"LB sums each coflow's K-core bound ceil(rho/K) + ceil(tau/K)*delta",
+		},
+	}
+
+	coflows, err := workload.Generate(workload.GenConfig{
+		N: cfg.MulN, NumCoflows: cfg.SingleCoflows, Seed: parallel.Seed(cfg.Seed, saltKCore),
+		MinDemand: cfg.C * cfg.Delta, MeanDemand: cfg.C * cfg.Delta,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kcore: %w", err)
+	}
+	batches := make(map[workload.Class][]*matrix.Matrix)
+	for _, c := range coflows {
+		cl := workload.Classify(c.Demand)
+		if len(batches[cl]) < cfg.MulCoflows {
+			batches[cl] = append(batches[cl], c.Demand)
+		}
+	}
+
+	type variant struct {
+		class workload.Class
+		k     int
+	}
+	var variants []variant
+	for _, cl := range classOrder {
+		if len(batches[cl]) == 0 {
+			continue
+		}
+		for _, k := range kcoreWidths {
+			variants = append(variants, variant{cl, k})
+		}
+	}
+
+	rows, err := parallel.Map(cfg.workers(), len(variants), func(i int) (Row, error) {
+		v := variants[i]
+		ds := batches[v.class]
+		topo, err := topology.Uniform(cfg.MulN, v.k, cfg.Delta)
+		if err != nil {
+			return Row{}, fmt.Errorf("kcore %s K=%d: %w", className(v.class), v.k, err)
+		}
+		makespan := func(strat kcore.Strategy) (float64, error) {
+			batch, err := kcore.ScheduleBatch(context.Background(), ds, topo, strat)
+			if err != nil {
+				return 0, fmt.Errorf("kcore %s K=%d %s: %w", className(v.class), v.k, strat, err)
+			}
+			var worst int64
+			for _, cct := range batch.Seq.CCTs {
+				if cct > worst {
+					worst = cct
+				}
+			}
+			return float64(worst), nil
+		}
+		greedy, err := makespan(kcore.Greedy)
+		if err != nil {
+			return Row{}, err
+		}
+		rr, err := makespan(kcore.RoundRobin)
+		if err != nil {
+			return Row{}, err
+		}
+		var lb int64
+		for _, d := range ds {
+			lb += topology.LowerBound(d, topo)
+		}
+		return Row{
+			Label: fmt.Sprintf("%s/K=%d", className(v.class), v.k),
+			Cells: []float64{greedy, rr, rr / greedy, float64(lb)},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	return t, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallKCoreConfig keeps the kcore experiment fast in tests while leaving
+// every density class with at least one coflow.
+func smallKCoreConfig() Config {
+	return Config{Seed: 1, MulN: 24, SingleCoflows: 60, MulCoflows: 6}
+}
+
+// TestKCoreShape checks the qualitative claims results/kcore.csv publishes:
+// within each density class the greedy makespan is non-increasing in K, and
+// round-robin never beats the greedy split — strictly losing somewhere.
+func TestKCoreShape(t *testing.T) {
+	tbl, err := KCore(smallKCoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 || len(tbl.Rows)%len(kcoreWidths) != 0 {
+		t.Fatalf("got %d rows, want a multiple of %d (one sweep per class)",
+			len(tbl.Rows), len(kcoreWidths))
+	}
+	if classes := len(tbl.Rows) / len(kcoreWidths); classes < 2 {
+		t.Fatalf("only %d density classes swept; the frontier needs at least 2", classes)
+	}
+	rrStrictlyWorse := false
+	for i, r := range tbl.Rows {
+		greedy, rr, lb := r.Cells[0], r.Cells[1], r.Cells[3]
+		if i%len(kcoreWidths) != 0 {
+			if prev := tbl.Rows[i-1].Cells[0]; greedy > prev {
+				t.Errorf("%s: greedy makespan %.0f worse than %.0f at the narrower fabric",
+					r.Label, greedy, prev)
+			}
+		}
+		if rr < greedy {
+			t.Errorf("%s: round-robin %.0f beats greedy %.0f", r.Label, rr, greedy)
+		}
+		if rr > greedy {
+			rrStrictlyWorse = true
+		}
+		if greedy < lb {
+			t.Errorf("%s: greedy makespan %.0f below the K-core lower bound %.0f",
+				r.Label, greedy, lb)
+		}
+		if !strings.Contains(r.Label, "/K=") {
+			t.Errorf("row label %q missing the /K= sweep marker", r.Label)
+		}
+	}
+	if !rrStrictlyWorse {
+		t.Error("round-robin never strictly worse than greedy; the split comparison is vacuous")
+	}
+}
+
+// TestKCoreDeterministicAcrossWorkers: the table is identical at any
+// worker count (docs/PARALLEL.md).
+func TestKCoreDeterministicAcrossWorkers(t *testing.T) {
+	cfg := smallKCoreConfig()
+	cfg.Workers = 1
+	a, err := KCore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 7
+	b, err := KCore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CSV() != b.CSV() {
+		t.Fatalf("kcore table varies with worker count:\n%s\nvs\n%s", a.CSV(), b.CSV())
+	}
+}
+
+// TestKCoreRegisteredNotOrdered: kcore is reachable by id but stays out of
+// Order(), keeping `recobench -exp all` (and results/all.txt) unchanged.
+func TestKCoreRegisteredNotOrdered(t *testing.T) {
+	if _, ok := Registry()["kcore"]; !ok {
+		t.Fatal("kcore missing from Registry()")
+	}
+	for _, id := range Order() {
+		if id == "kcore" {
+			t.Fatal("kcore must not join Order(): results/all.txt would change")
+		}
+	}
+}

@@ -33,6 +33,7 @@ const (
 	saltScale
 	saltNAS
 	saltAdmission
+	saltKCore
 )
 
 func className(cl workload.Class) string {

@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestKScheduleNilSafe(t *testing.T) {
+	var ks *KSchedule
+	if !ks.Empty() {
+		t.Error("nil KSchedule not empty")
+	}
+	if ks.Core(0) != nil {
+		t.Error("nil KSchedule returned a core schedule")
+	}
+	if ks.FirstDown(0) != -1 {
+		t.Error("nil KSchedule has a death tick")
+	}
+	if err := ks.Validate(4, 2); err != nil {
+		t.Errorf("nil KSchedule failed validation: %v", err)
+	}
+}
+
+func TestKScheduleValidate(t *testing.T) {
+	ks := &KSchedule{
+		Cores:      []*Schedule{nil, {SetupFailProb: 0.1, Seed: 1}},
+		CoreEvents: []CoreEvent{{Tick: 5, Core: 0, Down: true}, {Tick: 9, Core: 0, Down: false}},
+	}
+	if err := ks.Validate(4, 2); err != nil {
+		t.Fatalf("valid KSchedule rejected: %v", err)
+	}
+	if ks.Empty() {
+		t.Error("non-empty KSchedule reported empty")
+	}
+	cases := []*KSchedule{
+		{Cores: []*Schedule{nil, nil, nil}},                                                       // more schedules than cores
+		{CoreEvents: []CoreEvent{{Tick: 1, Core: 2, Down: true}}},                                 // core out of range
+		{CoreEvents: []CoreEvent{{Tick: -1, Core: 0, Down: true}}},                                // negative tick
+		{CoreEvents: []CoreEvent{{Tick: 5, Core: 0, Down: true}, {Tick: 1, Core: 1, Down: true}}}, // unsorted
+		{Cores: []*Schedule{{SetupFailProb: 2}}},                                                  // invalid per-core schedule
+	}
+	for i, bad := range cases {
+		if err := bad.Validate(4, 2); !errors.Is(err, ErrBadSchedule) {
+			t.Errorf("case %d: err = %v, want ErrBadSchedule", i, err)
+		}
+	}
+}
+
+func TestFirstDown(t *testing.T) {
+	ks := &KSchedule{CoreEvents: []CoreEvent{
+		{Tick: 3, Core: 1, Down: true},
+		{Tick: 7, Core: 0, Down: true},
+		{Tick: 9, Core: 1, Down: false},
+	}}
+	if got := ks.FirstDown(1); got != 3 {
+		t.Errorf("FirstDown(1) = %d, want 3", got)
+	}
+	if got := ks.FirstDown(0); got != 7 {
+		t.Errorf("FirstDown(0) = %d, want 7", got)
+	}
+	if got := ks.FirstDown(2); got != -1 {
+		t.Errorf("FirstDown(2) = %d, want -1", got)
+	}
+}
+
+func TestGenerateKDeterministic(t *testing.T) {
+	cfg := KGenConfig{
+		N: 16, K: 4, Seed: 99, Horizon: 1000,
+		CoreFailRate: 0.5, CoreRepairAfter: 200,
+		PortFailRate: 0.2, RepairAfter: 50,
+		SetupFailProb: 0.05, JitterBound: 3,
+	}
+	a, err := GenerateK(cfg)
+	if err != nil {
+		t.Fatalf("GenerateK: %v", err)
+	}
+	b, err := GenerateK(cfg)
+	if err != nil {
+		t.Fatalf("GenerateK (second): %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("GenerateK is not deterministic")
+	}
+	if err := a.Validate(cfg.N, cfg.K); err != nil {
+		t.Errorf("generated plan invalid: %v", err)
+	}
+	if len(a.Cores) != cfg.K {
+		t.Fatalf("got %d per-core schedules, want %d", len(a.Cores), cfg.K)
+	}
+	// Per-core schedules must be independent: distinct derived seeds.
+	seen := map[int64]bool{}
+	for c, s := range a.Cores {
+		if s == nil {
+			t.Fatalf("core %d schedule nil", c)
+		}
+		if seen[s.Seed] {
+			t.Errorf("core %d reuses seed %d", c, s.Seed)
+		}
+		seen[s.Seed] = true
+		if s.SetupFailProb != cfg.SetupFailProb || s.JitterBound != cfg.JitterBound {
+			t.Errorf("core %d lost setup/jitter config", c)
+		}
+	}
+	// Every death with repair must have a matching recovery.
+	for _, ev := range a.CoreEvents {
+		if ev.Down {
+			if a.FirstDown(ev.Core) > ev.Tick {
+				t.Errorf("FirstDown(%d) after recorded death", ev.Core)
+			}
+		}
+	}
+}
+
+func TestGenerateKRejectsBadConfig(t *testing.T) {
+	cases := []KGenConfig{
+		{N: 8, K: 0},
+		{N: 8, K: 2, CoreFailRate: 1.5},
+		{N: 8, K: 2, CoreFailRate: 0.5}, // no horizon
+		{N: 8, K: 2, CoreRepairAfter: -1},
+		{N: 0, K: 2},
+	}
+	for i, cfg := range cases {
+		if _, err := GenerateK(cfg); !errors.Is(err, ErrBadSchedule) {
+			t.Errorf("case %d: err = %v, want ErrBadSchedule", i, err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package ocs
+
+import (
+	"fmt"
+
+	"reco/internal/matrix"
+	"reco/internal/schedule"
+	"reco/internal/topology"
+)
+
+// KSchedule holds one circuit schedule per switching core of a K-core
+// fabric: KSchedule[c] runs on core c. Cores reconfigure and transmit
+// independently and in parallel.
+type KSchedule []CircuitSchedule
+
+// Validate checks every core's schedule against an n-port fabric with k
+// cores.
+func (ks KSchedule) Validate(n, k int) error {
+	if len(ks) != k {
+		return fmt.Errorf("%w: %d core schedules for %d cores", ErrInvalidAssignment, len(ks), k)
+	}
+	for c, cs := range ks {
+		if err := cs.Validate(n); err != nil {
+			return fmt.Errorf("core %d: %w", c, err)
+		}
+	}
+	return nil
+}
+
+// KResult reports the outcome of executing a K-core schedule. PerCore holds
+// each core's independently-validatable result on its own timeline (all
+// cores start at tick 0); the top-level fields aggregate them.
+type KResult struct {
+	// CCT is the fabric completion time: the slowest core's CCT.
+	CCT int64
+	// Reconfigs and ConfTime sum the establishments and reconfiguration time
+	// across cores (cores reconfigure concurrently, so ConfTime can exceed
+	// CCT at K > 1).
+	Reconfigs int
+	ConfTime  int64
+	// TransTime sums per-core circuit-up time; at K = 1 it equals
+	// CCT − ConfTime.
+	TransTime int64
+	// PerCore is each core's single-switch result.
+	PerCore []Result
+	// Flows merges every core's flow intervals in core order. At K > 1 a
+	// port legitimately carries up to K concurrent flows (one transceiver
+	// per core), so the merged schedule does not satisfy the single-switch
+	// FlowSchedule.Validate port constraint; validate PerCore[c].Flows
+	// against one core instead.
+	Flows schedule.FlowSchedule
+}
+
+// summary collapses a KResult to the Result shape used by the shared
+// sequential loop.
+func (kr KResult) summary() Result {
+	return Result{
+		CCT:       kr.CCT,
+		Reconfigs: kr.Reconfigs,
+		ConfTime:  kr.ConfTime,
+		TransTime: kr.TransTime,
+		Flows:     kr.Flows,
+	}
+}
+
+// ExecK plays one circuit schedule per core against that core's share of a
+// demand split (as produced by topology.SplitGreedy or SplitRoundRobin),
+// honoring each core's bandwidth and reconfiguration delay. Cores run in
+// parallel from tick 0; the fabric CCT is the slowest core's CCT.
+//
+// At K = 1 with a unit-bandwidth core, PerCore[0] is byte-identical to
+// ExecAllStop(split[0], ks[0], delta) — the degenerate fabric is the paper's
+// single switch.
+func ExecK(topo topology.Topology, split []*matrix.Matrix, ks KSchedule) (KResult, error) {
+	if err := topo.Validate(); err != nil {
+		return KResult{}, err
+	}
+	k := topo.K()
+	if len(split) != k {
+		return KResult{}, fmt.Errorf("%w: %d demand shares for %d cores", ErrInvalidAssignment, len(split), k)
+	}
+	if err := ks.Validate(topo.Ports, k); err != nil {
+		return KResult{}, err
+	}
+	res := KResult{PerCore: make([]Result, k)}
+	for c := 0; c < k; c++ {
+		if split[c].N() != topo.Ports {
+			return KResult{}, fmt.Errorf("%w: share %d has %d ports, fabric has %d",
+				ErrInvalidAssignment, c, split[c].N(), topo.Ports)
+		}
+		core := topo.Cores[c]
+		r, err := ExecAllStopRate(split[c], ks[c], core.Delta, core.Bandwidth)
+		if err != nil {
+			return res, fmt.Errorf("core %d: %w", c, err)
+		}
+		res.PerCore[c] = r
+		if r.CCT > res.CCT {
+			res.CCT = r.CCT
+		}
+		res.Reconfigs += r.Reconfigs
+		res.ConfTime += r.ConfTime
+		res.TransTime += r.TransTime
+		res.Flows = append(res.Flows, r.Flows...)
+	}
+	return res, nil
+}
+
+// ExecSequentialK executes one K-core plan per coflow, in the given priority
+// order: the whole fabric is handed to one coflow at a time, exactly like
+// ExecSequential, but each coflow transmits its split across all K cores in
+// parallel. splits[k] and plans[k] are coflow k's demand split and per-core
+// schedules.
+//
+// At K = 1 the result is byte-identical to
+// ExecSequential(ds, schedules, order, delta) for the same demands.
+func ExecSequentialK(topo topology.Topology, splits [][]*matrix.Matrix, plans []KSchedule, order []int) (SeqResult, error) {
+	if len(splits) != len(plans) {
+		return SeqResult{}, fmt.Errorf("ocs: %d demand splits but %d plans", len(splits), len(plans))
+	}
+	return execSeq(len(splits), order, func(k int) (Result, error) {
+		kr, err := ExecK(topo, splits[k], plans[k])
+		if err != nil {
+			return Result{}, err
+		}
+		return kr.summary(), nil
+	})
+}

@@ -1,0 +1,228 @@
+package ocs
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"reco/internal/bvn"
+	"reco/internal/matrix"
+	"reco/internal/topology"
+)
+
+// randomPlan builds a complete circuit schedule for d by stuffing it to a
+// doubly stochastic matrix and decomposing with MaxMin BvN.
+func randomPlan(t *testing.T, d *matrix.Matrix) CircuitSchedule {
+	t.Helper()
+	terms, err := bvn.Decompose(matrix.StuffPreferNonZero(d), bvn.MaxMin)
+	if err != nil {
+		t.Fatalf("bvn.Decompose: %v", err)
+	}
+	cs := make(CircuitSchedule, len(terms))
+	for u, term := range terms {
+		cs[u] = Assignment{Perm: term.Perm, Dur: term.Coef}
+	}
+	return cs
+}
+
+func randomDemand(t *testing.T, rng *rand.Rand, n int) *matrix.Matrix {
+	t.Helper()
+	d, err := matrix.New(n)
+	if err != nil {
+		t.Fatalf("matrix.New: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.4 {
+				d.Set(i, j, 1+rng.Int63n(50))
+			}
+		}
+	}
+	if d.IsZero() {
+		d.Set(0, 0, 1)
+	}
+	return d
+}
+
+// TestExecKOneCoreByteIdentical is the K=1 differential guarantee at the
+// executor layer: ExecK on the degenerate single-core fabric must reproduce
+// ExecAllStop exactly — same CCT, reconfiguration accounting and flow
+// intervals — so every committed single-switch result stays frozen.
+func TestExecKOneCoreByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		d := randomDemand(t, rng, 12)
+		cs := randomPlan(t, d)
+		delta := int64(10 * (trial % 4))
+
+		want, err := ExecAllStop(d, cs, delta)
+		if err != nil {
+			t.Fatalf("trial %d: ExecAllStop: %v", trial, err)
+		}
+		topo := topology.Single(12, delta)
+		split, err := topology.SplitGreedy(d, topo)
+		if err != nil {
+			t.Fatalf("trial %d: split: %v", trial, err)
+		}
+		got, err := ExecK(topo, split, KSchedule{cs})
+		if err != nil {
+			t.Fatalf("trial %d: ExecK: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got.PerCore[0], want) {
+			t.Fatalf("trial %d: K=1 per-core result diverges from ExecAllStop\n got %+v\nwant %+v",
+				trial, got.PerCore[0], want)
+		}
+		if got.CCT != want.CCT || got.Reconfigs != want.Reconfigs ||
+			got.ConfTime != want.ConfTime || got.TransTime != want.TransTime ||
+			!reflect.DeepEqual(got.Flows, want.Flows) {
+			t.Fatalf("trial %d: K=1 aggregate diverges from ExecAllStop", trial)
+		}
+	}
+}
+
+// TestExecAllStopRateUnitBandwidth pins ExecAllStopRate(bw=1) to ExecAllStop
+// — the shared drain loop must not change the unit-bandwidth semantics.
+func TestExecAllStopRateUnitBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		d := randomDemand(t, rng, 10)
+		cs := randomPlan(t, d)
+		want, err1 := ExecAllStop(d, cs, 25)
+		got, err2 := ExecAllStopRate(d, cs, 25, 1)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: error mismatch %v vs %v", trial, err1, err2)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: bw=1 result diverges", trial)
+		}
+	}
+}
+
+func TestExecAllStopRateFasterCore(t *testing.T) {
+	d := mustMatrix(t, [][]int64{{10, 0}, {0, 6}})
+	cs := CircuitSchedule{{Perm: []int{0, 1}, Dur: 10}}
+	// bw=2: maxRem 10 drains in ceil(10/2)=5 ticks, CCT = delta + 5.
+	res, err := ExecAllStopRate(d, cs, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CCT != 8 {
+		t.Errorf("CCT = %d, want 8", res.CCT)
+	}
+	// Flow (1,1): 6 units at bw 2 → 3 ticks.
+	for _, f := range res.Flows {
+		if f.In == 1 && f.End-f.Start != 3 {
+			t.Errorf("flow (1,1) spans %d ticks, want 3", f.End-f.Start)
+		}
+	}
+	if _, err := ExecAllStopRate(d, cs, 3, 0); !errors.Is(err, ErrInvalidAssignment) {
+		t.Errorf("bw=0: err = %v, want ErrInvalidAssignment", err)
+	}
+}
+
+// TestExecKParallelCores checks that independent cores genuinely overlap:
+// two disjoint circuits on two cores finish in one core's time.
+func TestExecKParallelCores(t *testing.T) {
+	d := mustMatrix(t, [][]int64{{8, 0}, {0, 8}})
+	topo, err := topology.Uniform(2, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := []*matrix.Matrix{
+		mustMatrix(t, [][]int64{{8, 0}, {0, 0}}),
+		mustMatrix(t, [][]int64{{0, 0}, {0, 8}}),
+	}
+	ks := KSchedule{
+		{{Perm: []int{0, -1}, Dur: 8}},
+		{{Perm: []int{-1, 1}, Dur: 8}},
+	}
+	res, err := ExecK(topo, split, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CCT != 13 { // delta 5 + 8 transmission, both cores concurrent
+		t.Errorf("CCT = %d, want 13", res.CCT)
+	}
+	if res.Reconfigs != 2 || res.ConfTime != 10 {
+		t.Errorf("Reconfigs=%d ConfTime=%d, want 2 and 10", res.Reconfigs, res.ConfTime)
+	}
+	// Single-core serial execution of the same demand needs two
+	// establishments on one switch: 2·5 + 8 + 8 = 26 ... actually one
+	// establishment carries both circuits; use the split demand total to
+	// sanity-check conservation instead.
+	var moved int64
+	for _, f := range res.Flows {
+		moved += f.End - f.Start
+	}
+	if moved != d.Total() {
+		t.Errorf("flows moved %d units, want %d", moved, d.Total())
+	}
+}
+
+func TestExecKValidation(t *testing.T) {
+	topo, _ := topology.Uniform(2, 2, 5)
+	d := mustMatrix(t, [][]int64{{1, 0}, {0, 1}})
+	split, _ := topology.SplitGreedy(d, topo)
+	if _, err := ExecK(topo, split, KSchedule{{}}); !errors.Is(err, ErrInvalidAssignment) {
+		t.Errorf("short KSchedule: err = %v", err)
+	}
+	if _, err := ExecK(topo, split[:1], KSchedule{{}, {}}); !errors.Is(err, ErrInvalidAssignment) {
+		t.Errorf("short split: err = %v", err)
+	}
+	bad := topology.Topology{Ports: 0}
+	if _, err := ExecK(bad, nil, nil); !errors.Is(err, topology.ErrBadTopology) {
+		t.Errorf("bad topology: err = %v", err)
+	}
+}
+
+// TestExecSequentialKOneCoreByteIdentical: the multi-coflow K=1 path must
+// reproduce ExecSequential exactly, including CCT bookkeeping and coflow
+// attribution on every flow.
+func TestExecSequentialKOneCoreByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		nc := 3 + trial%3
+		ds := make([]*matrix.Matrix, nc)
+		schedules := make([]CircuitSchedule, nc)
+		splits := make([][]*matrix.Matrix, nc)
+		plans := make([]KSchedule, nc)
+		topo := topology.Single(8, 15)
+		order := rng.Perm(nc)
+		for k := 0; k < nc; k++ {
+			ds[k] = randomDemand(t, rng, 8)
+			schedules[k] = randomPlan(t, ds[k])
+			var err error
+			splits[k], err = topology.SplitGreedy(ds[k], topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plans[k] = KSchedule{schedules[k]}
+		}
+		want, err := ExecSequential(ds, schedules, order, 15)
+		if err != nil {
+			t.Fatalf("trial %d: ExecSequential: %v", trial, err)
+		}
+		got, err := ExecSequentialK(topo, splits, plans, order)
+		if err != nil {
+			t.Fatalf("trial %d: ExecSequentialK: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: K=1 sequential result diverges\n got %+v\nwant %+v", trial, got, want)
+		}
+	}
+}
+
+func TestKScheduleValidate(t *testing.T) {
+	ks := KSchedule{{{Perm: []int{0, 1}, Dur: 1}}, {{Perm: []int{1, 0}, Dur: 1}}}
+	if err := ks.Validate(2, 2); err != nil {
+		t.Errorf("valid KSchedule rejected: %v", err)
+	}
+	if err := ks.Validate(2, 3); err == nil {
+		t.Error("wrong core count accepted")
+	}
+	bad := KSchedule{{{Perm: []int{0, 0}, Dur: 1}}}
+	if err := bad.Validate(2, 1); err == nil {
+		t.Error("invalid per-core schedule accepted")
+	}
+}

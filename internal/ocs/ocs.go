@@ -91,6 +91,56 @@ type Result struct {
 	Flows schedule.FlowSchedule
 }
 
+// maxRemaining returns the longest remaining demand among perm's circuits.
+func maxRemaining(rem *matrix.Matrix, perm []int) int64 {
+	var max int64
+	for i, j := range perm {
+		if j == -1 {
+			continue
+		}
+		if r := rem.At(i, j); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// drainWindow transmits every active circuit of perm from startOf(i, j) until
+// windowEnd at bandwidth bw units per tick, decrementing rem and appending one
+// flow interval (coflow 0) per circuit that moved data. It is the single
+// drain loop behind every executor in this package; bw = 1 reproduces the
+// paper's unit-bandwidth semantics exactly.
+func drainWindow(rem *matrix.Matrix, perm []int, startOf func(i, j int) int64, windowEnd, bw int64, flows *schedule.FlowSchedule) {
+	for i, j := range perm {
+		if j == -1 {
+			continue
+		}
+		r := rem.At(i, j)
+		if r == 0 {
+			continue
+		}
+		start := startOf(i, j)
+		span := windowEnd - start
+		if span <= 0 {
+			continue
+		}
+		send := span * bw
+		if r < send {
+			send = r
+		}
+		rem.Set(i, j, r-send)
+		res := schedule.FlowInterval{
+			Start: start, End: start + ceilDiv(send, bw), In: i, Out: j, Coflow: 0,
+		}
+		*flows = append(*flows, res)
+	}
+}
+
+// ceilDiv returns ⌈a/b⌉ for non-negative a and positive b.
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
 // ExecAllStop plays the circuit schedule cs against demand d under the
 // all-stop model: every reconfiguration halts the whole switch for delta.
 // An assignment occupies min(Dur, max remaining demand over its circuits):
@@ -103,6 +153,15 @@ type Result struct {
 // ErrIncomplete is returned (alongside the partial result) if demand remains
 // after the last assignment.
 func ExecAllStop(d *matrix.Matrix, cs CircuitSchedule, delta int64) (Result, error) {
+	return ExecAllStopRate(d, cs, delta, 1)
+}
+
+// ExecAllStopRate is ExecAllStop on a core whose circuits move bw demand
+// units per tick instead of one. An establishment occupies
+// min(Dur, ⌈maxRem/bw⌉) ticks; flow intervals are rounded up to whole ticks.
+// bw = 1 is byte-identical to ExecAllStop. Executors for multi-core fabrics
+// use this to honor per-core bandwidth (see ExecK).
+func ExecAllStopRate(d *matrix.Matrix, cs CircuitSchedule, delta, bw int64) (Result, error) {
 	n := d.N()
 	if err := cs.Validate(n); err != nil {
 		return Result{}, err
@@ -110,46 +169,25 @@ func ExecAllStop(d *matrix.Matrix, cs CircuitSchedule, delta int64) (Result, err
 	if delta < 0 {
 		return Result{}, fmt.Errorf("%w: negative delta %d", ErrInvalidAssignment, delta)
 	}
+	if bw < 1 {
+		return Result{}, fmt.Errorf("%w: bandwidth %d", ErrInvalidAssignment, bw)
+	}
 	rem := d.Clone()
 	var res Result
 	var now int64
 	for _, a := range cs {
-		// Longest remaining demand among this establishment's circuits.
-		var maxRem int64
-		for i, j := range a.Perm {
-			if j == -1 {
-				continue
-			}
-			if r := rem.At(i, j); r > maxRem {
-				maxRem = r
-			}
-		}
+		maxRem := maxRemaining(rem, a.Perm)
 		if maxRem == 0 {
 			continue // nothing to send: skip without reconfiguring
 		}
 		now += delta
 		res.Reconfigs++
 		active := a.Dur
-		if maxRem < active {
-			active = maxRem
+		if t := ceilDiv(maxRem, bw); t < active {
+			active = t
 		}
-		for i, j := range a.Perm {
-			if j == -1 {
-				continue
-			}
-			r := rem.At(i, j)
-			if r == 0 {
-				continue
-			}
-			send := active
-			if r < send {
-				send = r
-			}
-			rem.Set(i, j, r-send)
-			res.Flows = append(res.Flows, schedule.FlowInterval{
-				Start: now, End: now + send, In: i, Out: j, Coflow: 0,
-			})
-		}
+		start := func(int, int) int64 { return now }
+		drainWindow(rem, a.Perm, start, now+active, bw, &res.Flows)
 		now += active
 	}
 	res.CCT = now
@@ -182,23 +220,18 @@ func ExecNotAllStop(d *matrix.Matrix, cs CircuitSchedule, delta int64) (Result, 
 		prev[i] = -1
 	}
 	for _, a := range cs {
-		var maxRem int64
+		if maxRemaining(rem, a.Perm) == 0 {
+			continue
+		}
 		anyChanged := false
 		for i, j := range a.Perm {
 			if j == -1 {
 				continue
 			}
-			if r := rem.At(i, j); r > 0 {
-				if r > maxRem {
-					maxRem = r
-				}
-				if prev[i] != j {
-					anyChanged = true
-				}
+			if rem.At(i, j) > 0 && prev[i] != j {
+				anyChanged = true
+				break
 			}
-		}
-		if maxRem == 0 {
-			continue
 		}
 		// Changed circuits come up delta after the window opens; carried-over
 		// circuits transmit from the start of the window. The window closes
@@ -232,27 +265,7 @@ func ExecNotAllStop(d *matrix.Matrix, cs CircuitSchedule, delta int64) (Result, 
 		if maxFinish < windowEnd {
 			windowEnd = maxFinish
 		}
-		for i, j := range a.Perm {
-			if j == -1 {
-				continue
-			}
-			r := rem.At(i, j)
-			if r == 0 {
-				continue
-			}
-			start := startOf(i, j)
-			send := windowEnd - start
-			if r < send {
-				send = r
-			}
-			if send <= 0 {
-				continue
-			}
-			rem.Set(i, j, r-send)
-			res.Flows = append(res.Flows, schedule.FlowInterval{
-				Start: start, End: start + send, In: i, Out: j, Coflow: 0,
-			})
-		}
+		drainWindow(rem, a.Perm, startOf, windowEnd, 1, &res.Flows)
 		now = windowEnd
 		copy(prev, a.Perm)
 	}

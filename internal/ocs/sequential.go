@@ -21,32 +21,33 @@ type SeqResult struct {
 	Flows schedule.FlowSchedule
 }
 
-// ExecSequential executes one circuit schedule per coflow, in the given
-// priority order, under the all-stop model. This is how ordering-based
-// baselines (SEBF+Solstice, LP-II-GB groups) realize multi-coflow scheduling
-// in an OCS: the switch is handed over to one coflow at a time.
-//
-// order must be a permutation of the coflow indices; schedules[k] is the
-// circuit schedule serving ds[k].
-func ExecSequential(ds []*matrix.Matrix, schedules []CircuitSchedule, order []int, delta int64) (SeqResult, error) {
-	if len(ds) != len(schedules) {
-		return SeqResult{}, fmt.Errorf("ocs: %d demand matrices but %d schedules", len(ds), len(schedules))
+// validateOrder checks that order is a permutation of 0..n-1.
+func validateOrder(order []int, n int) error {
+	if len(order) != n {
+		return fmt.Errorf("ocs: order has %d entries, want %d", len(order), n)
 	}
-	if len(order) != len(ds) {
-		return SeqResult{}, fmt.Errorf("ocs: order has %d entries, want %d", len(order), len(ds))
-	}
-	seen := make([]bool, len(ds))
+	seen := make([]bool, n)
 	for _, k := range order {
-		if k < 0 || k >= len(ds) || seen[k] {
-			return SeqResult{}, fmt.Errorf("ocs: order is not a permutation of coflows")
+		if k < 0 || k >= n || seen[k] {
+			return fmt.Errorf("ocs: order is not a permutation of coflows")
 		}
 		seen[k] = true
 	}
+	return nil
+}
 
-	res := SeqResult{CCTs: make([]int64, len(ds))}
+// execSeq hands the switch to one coflow at a time in priority order: run(k)
+// executes coflow k's schedule on an empty timeline, and execSeq shifts its
+// flows behind everything already transmitted. It is the single sequential
+// loop behind ExecSequential and ExecSequentialK.
+func execSeq(n int, order []int, run func(k int) (Result, error)) (SeqResult, error) {
+	if err := validateOrder(order, n); err != nil {
+		return SeqResult{}, err
+	}
+	res := SeqResult{CCTs: make([]int64, n)}
 	var now int64
 	for _, k := range order {
-		r, err := ExecAllStop(ds[k], schedules[k], delta)
+		r, err := run(k)
 		if err != nil {
 			return SeqResult{}, fmt.Errorf("coflow %d: %w", k, err)
 		}
@@ -63,4 +64,20 @@ func ExecSequential(ds []*matrix.Matrix, schedules []CircuitSchedule, order []in
 		res.TransTime += r.TransTime
 	}
 	return res, nil
+}
+
+// ExecSequential executes one circuit schedule per coflow, in the given
+// priority order, under the all-stop model. This is how ordering-based
+// baselines (SEBF+Solstice, LP-II-GB groups) realize multi-coflow scheduling
+// in an OCS: the switch is handed over to one coflow at a time.
+//
+// order must be a permutation of the coflow indices; schedules[k] is the
+// circuit schedule serving ds[k].
+func ExecSequential(ds []*matrix.Matrix, schedules []CircuitSchedule, order []int, delta int64) (SeqResult, error) {
+	if len(ds) != len(schedules) {
+		return SeqResult{}, fmt.Errorf("ocs: %d demand matrices but %d schedules", len(ds), len(schedules))
+	}
+	return execSeq(len(ds), order, func(k int) (Result, error) {
+		return ExecAllStop(ds[k], schedules[k], delta)
+	})
 }

@@ -63,6 +63,7 @@ func fingerprint(alg string, req algo.Request, eps float64) string {
 	h.Write([]byte{0})
 	writeInt(req.Delta)
 	writeInt(req.C)
+	writeInt(int64(req.Cores))
 	writeInt(int64(len(req.Weights)))
 	for _, w := range req.Weights {
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(w))

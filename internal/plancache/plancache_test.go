@@ -40,6 +40,7 @@ func TestFingerprintDistinguishes(t *testing.T) {
 		{"algorithm changed", "solstice", base},
 		{"weights added", "reco-sin", algo.Request{Demands: base.Demands, Delta: 100, C: 4, Weights: []float64{2}}},
 		{"c changed", "reco-sin", algo.Request{Demands: base.Demands, Delta: 100, C: 5}},
+		{"cores changed", "reco-sin", algo.Request{Demands: base.Demands, Delta: 100, C: 4, Cores: 4}},
 	}
 	fp := Fingerprint("reco-sin", base)
 	for _, v := range variants {

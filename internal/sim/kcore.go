@@ -1,0 +1,355 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"reco/internal/core"
+	"reco/internal/faults"
+	"reco/internal/matrix"
+	"reco/internal/obs"
+	"reco/internal/ocs"
+	"reco/internal/schedule"
+	"reco/internal/topology"
+)
+
+// ErrTopology reports a fabric description the simulator cannot run.
+var ErrTopology = errors.New("sim: unsupported topology")
+
+// KResult is the outcome of simulating a K-core fabric: per-core event logs
+// on a shared clock (every core starts at tick 0) plus fabric-level
+// aggregates.
+type KResult struct {
+	// CCT is when the last core drained its share (0 for empty demand).
+	CCT int64
+	// Establishments, ConfTime and SetupFailures sum across cores.
+	Establishments int
+	ConfTime       int64
+	SetupFailures  int
+	// PerCore[c] is core c's single-switch result. For a core that died
+	// mid-run under RunKRecover, CCT is the tick its last establishment
+	// ended (at or shortly after the death tick) and Flows holds only what
+	// it drained before dying.
+	PerCore []*Result
+	// Flows merges every core's flow intervals in core order; at K > 1 the
+	// merged schedule legitimately carries up to K concurrent flows per
+	// port, so validate PerCore[c].Flows against a single switch instead.
+	Flows schedule.FlowSchedule
+	// DeadCores lists cores that died mid-run (RunKRecover only).
+	DeadCores []int
+	// ReplannedTicks is the demand volume RunKRecover moved from dead cores
+	// onto survivors.
+	ReplannedTicks int64
+}
+
+// checkRunK validates the shared (topology, split) inputs of the K-core
+// entry points. The discrete simulator models unit-bandwidth cores only —
+// use ocs.ExecK for fabrics with faster cores.
+func checkRunK(topo topology.Topology, split []*matrix.Matrix) error {
+	if err := topo.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrTopology, err)
+	}
+	for c, cr := range topo.Cores {
+		if cr.Bandwidth != 1 {
+			return fmt.Errorf("%w: core %d bandwidth %d (simulator cores are unit-bandwidth; use ocs.ExecK)",
+				ErrTopology, c, cr.Bandwidth)
+		}
+	}
+	if len(split) != topo.K() {
+		return fmt.Errorf("%w: %d demand shares for %d cores", ErrTopology, len(split), topo.K())
+	}
+	for c, s := range split {
+		if s.N() != topo.Ports {
+			return fmt.Errorf("%w: share %d has %d ports, fabric has %d", ErrTopology, c, s.N(), topo.Ports)
+		}
+	}
+	return nil
+}
+
+// mergeCore folds one core's finished (or truncated) result into the fabric
+// aggregate.
+func (kr *KResult) mergeCore(r *Result) {
+	if r.CCT > kr.CCT {
+		kr.CCT = r.CCT
+	}
+	kr.Establishments += r.Establishments
+	kr.ConfTime += r.ConfTime
+	kr.SetupFailures += r.SetupFailures
+	kr.PerCore = append(kr.PerCore, r)
+	kr.Flows = append(kr.Flows, r.Flows...)
+}
+
+// RunK simulates one controller per core against that core's demand share,
+// each under its core's reconfiguration delay and per-core fault schedule.
+// Cores are independent switches sharing the port set, so each core is one
+// RunFaults simulation; at K = 1 with the degenerate topology, PerCore[0]
+// is byte-identical to RunFaults(split[0], ctrls[0], delta, fs).
+//
+// kfs may carry per-core port/setup/jitter faults but not core death
+// events — replanning demand off a dead core needs the plan-level view that
+// RunKRecover has, so RunK rejects a kfs with CoreEvents.
+func RunK(topo topology.Topology, split []*matrix.Matrix, ctrls []Controller, kfs *faults.KSchedule) (*KResult, error) {
+	if err := checkRunK(topo, split); err != nil {
+		return nil, err
+	}
+	if len(ctrls) != topo.K() {
+		return nil, fmt.Errorf("%w: %d controllers for %d cores", ErrController, len(ctrls), topo.K())
+	}
+	if err := kfs.Validate(topo.Ports, topo.K()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrController, err)
+	}
+	if kfs != nil && len(kfs.CoreEvents) > 0 {
+		return nil, fmt.Errorf("%w: core death events need RunKRecover", ErrTopology)
+	}
+	kr := &KResult{}
+	for c := 0; c < topo.K(); c++ {
+		r, err := RunFaults(split[c], ctrls[c], topo.Cores[c].Delta, kfs.Core(c))
+		if r != nil {
+			kr.mergeCore(r)
+		}
+		if err != nil {
+			return kr, fmt.Errorf("core %d: %w", c, err)
+		}
+	}
+	flushKObs(kr)
+	return kr, nil
+}
+
+// truncatable reports whether err is a legitimate way for a dying core's
+// replay to end: drained everything (nil), stranded demand (ErrUnservable)
+// or a plan that ran out against unreachable ports (ErrStalled).
+func truncatable(err error) bool {
+	return err == nil || errors.Is(err, ErrUnservable) || errors.Is(err, ErrStalled)
+}
+
+// deadCoreSchedule builds the fault schedule that kills every port of an
+// n-port core at tick t: the core's own faults up to the death, then
+// permanent darkness. Establishments in flight at t are interrupted exactly
+// like a fabric-wide port outage.
+func deadCoreSchedule(fs *faults.Schedule, n int, t int64) *faults.Schedule {
+	dead := &faults.Schedule{}
+	if fs != nil {
+		dead.SetupFailProb = fs.SetupFailProb
+		dead.JitterBound = fs.JitterBound
+		dead.Seed = fs.Seed
+		for _, ev := range fs.PortEvents {
+			if ev.Tick < t {
+				dead.PortEvents = append(dead.PortEvents, ev)
+			}
+		}
+	}
+	for p := 0; p < n; p++ {
+		dead.PortEvents = append(dead.PortEvents, faults.PortEvent{Tick: t, Port: p, Down: true})
+	}
+	return dead
+}
+
+// residualAfter returns how much of share is left undrained by the flows of
+// a truncated unit-bandwidth run.
+func residualAfter(share *matrix.Matrix, flows schedule.FlowSchedule) *matrix.Matrix {
+	rem := share.Clone()
+	for _, f := range flows {
+		rem.Add(f.In, f.Out, -(f.End - f.Start))
+	}
+	return rem
+}
+
+// finishTick returns when a truncated run's last establishment ended.
+func finishTick(r *Result) int64 {
+	var t int64
+	for _, tr := range r.Log {
+		if tr.Down > t {
+			t = tr.Down
+		}
+	}
+	return t
+}
+
+// RunKRecover simulates a K-core fabric executing one precomputed circuit
+// schedule per core (plans[c] serves split[c]) under a fault plan that may
+// kill cores outright. Recovery semantics:
+//
+//   - A core with no death event replays its plan; under per-core port
+//     faults it runs the predictive recovery controller instead, so port
+//     outages inside a surviving core heal as in the single-core model.
+//   - A core that dies at tick t keeps whatever it drained before t; its
+//     establishment in flight is interrupted at t and the rest of its share
+//     becomes residual demand.
+//   - All residual demand is pooled, re-split across the surviving cores
+//     with topology.SplitGreedy over the survivor sub-fabric, replanned
+//     per-survivor with Reco-Sin, and executed after
+//     max(survivor's own finish, last death tick) — the earliest the
+//     survivor is both idle and certain the data is lost. Dead cores that
+//     later recover are not reused.
+//
+// The per-core port constraint holds throughout: each surviving core's
+// merged flow schedule (own plan + replanned residual) is a valid
+// single-switch schedule, which the seeded fault tests verify.
+func RunKRecover(topo topology.Topology, split []*matrix.Matrix, plans []ocs.CircuitSchedule, kfs *faults.KSchedule) (*KResult, error) {
+	if err := checkRunK(topo, split); err != nil {
+		return nil, err
+	}
+	if len(plans) != topo.K() {
+		return nil, fmt.Errorf("%w: %d plans for %d cores", ErrController, len(plans), topo.K())
+	}
+	if err := kfs.Validate(topo.Ports, topo.K()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrController, err)
+	}
+	k := topo.K()
+	n := topo.Ports
+
+	// Phase 1: every core runs its own plan; dying cores run against
+	// merged "everything goes dark at t" schedules.
+	perCore := make([]*Result, k)
+	var dead []int
+	var availability int64 // last death tick: when pooled residuals are final
+	pool, _ := matrix.New(n)
+	for c := 0; c < k; c++ {
+		coreFS := kfs.Core(c)
+		delta := topo.Cores[c].Delta
+		if t := kfs.FirstDown(c); t >= 0 {
+			r, err := RunFaults(split[c], NewReplay(plans[c]), delta, deadCoreSchedule(coreFS, n, t))
+			if !truncatable(err) {
+				return nil, fmt.Errorf("core %d: %w", c, err)
+			}
+			if r == nil {
+				r = &Result{}
+			}
+			if err != nil {
+				// Truncated: report the core's real stop time and collect
+				// what it never sent.
+				r.CCT = finishTick(r)
+				dead = append(dead, c)
+				if t > availability {
+					availability = t
+				}
+				resid := residualAfter(split[c], r.Flows)
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						if v := resid.At(i, j); v > 0 {
+							pool.Add(i, j, v)
+						}
+					}
+				}
+			}
+			perCore[c] = r
+			continue
+		}
+		var ctrl Controller
+		if coreFS.Empty() {
+			ctrl = NewReplay(plans[c])
+		} else {
+			ctrl = NewPredictiveRecover(split[c], plans[c], delta, coreFS)
+		}
+		r, err := RunFaults(split[c], ctrl, delta, coreFS)
+		if err != nil {
+			return nil, fmt.Errorf("core %d: %w", c, err)
+		}
+		perCore[c] = r
+	}
+
+	// Phase 2: re-split the pooled residual over the survivor sub-fabric and
+	// serve each survivor's extra share after its own plan finishes.
+	kr := &KResult{DeadCores: dead, ReplannedTicks: pool.Total()}
+	if !pool.IsZero() {
+		var survivors []int
+		var survivorCores []topology.Core
+		for c := 0; c < k; c++ {
+			if kfs.FirstDown(c) < 0 {
+				survivors = append(survivors, c)
+				survivorCores = append(survivorCores, topo.Cores[c])
+			}
+		}
+		if len(survivors) == 0 {
+			for _, r := range perCore {
+				kr.mergeCore(r)
+			}
+			return kr, fmt.Errorf("%w: %d ticks stranded on dead cores", ErrUnservable, pool.Total())
+		}
+		sub := topology.Topology{Ports: n, Cores: survivorCores}
+		extra, err := topology.SplitGreedy(pool, sub)
+		if err != nil {
+			return nil, fmt.Errorf("resplit: %w", err)
+		}
+		for si, c := range survivors {
+			if extra[si].IsZero() {
+				continue
+			}
+			delta := topo.Cores[c].Delta
+			plan2, err := core.RecoSin(extra[si], delta)
+			if err != nil {
+				return nil, fmt.Errorf("core %d replan: %w", c, err)
+			}
+			r2, err := RunFaults(extra[si], NewReplay(plan2), delta, nil)
+			if err != nil {
+				return nil, fmt.Errorf("core %d replanned run: %w", c, err)
+			}
+			offset := perCore[c].CCT
+			if availability > offset {
+				offset = availability
+			}
+			appendShifted(perCore[c], r2, offset)
+		}
+	}
+	for _, r := range perCore {
+		kr.mergeCore(r)
+	}
+	flushKObs(kr)
+	return kr, nil
+}
+
+// appendShifted merges a replanned run executed offset ticks into the future
+// onto a core's phase-1 result.
+func appendShifted(dst, src *Result, offset int64) {
+	dst.CCT = offset + src.CCT
+	dst.Establishments += src.Establishments
+	dst.ConfTime += src.ConfTime
+	dst.SetupFailures += src.SetupFailures
+	for _, f := range src.Flows {
+		f.Start += offset
+		f.End += offset
+		dst.Flows = append(dst.Flows, f)
+	}
+	for _, tr := range src.Log {
+		tr.Start += offset
+		tr.Up += offset
+		tr.Down += offset
+		dst.Log = append(dst.Log, tr)
+	}
+	for _, fr := range src.Faults {
+		fr.Tick += offset
+		dst.Faults = append(dst.Faults, fr)
+	}
+}
+
+// flushKObs publishes a finished K-core run: fabric-level counters plus one
+// Gantt track per core ("core 0", "core 1", …) with reconfiguration and
+// transmission spans on the simulated-time axis, so a trace viewer shows the
+// cores draining in parallel.
+func flushKObs(kr *KResult) {
+	snk := obs.Current()
+	if snk == nil {
+		return
+	}
+	snk.Inc("sim_kcore_runs_total")
+	snk.Count("sim_kcore_cores_total", int64(len(kr.PerCore)))
+	snk.Count("sim_kcore_dead_cores_total", int64(len(kr.DeadCores)))
+	snk.Count("sim_kcore_replanned_ticks_total", kr.ReplannedTicks)
+	snk.ObserveBuckets("sim_kcore_cct_ticks", obs.TickBuckets, float64(kr.CCT))
+	if snk.Trace == nil {
+		return
+	}
+	for c, r := range kr.PerCore {
+		track := fmt.Sprintf("core %d", c)
+		for k, tr := range r.Log {
+			args := map[string]any{"establishment": k}
+			snk.TickSpan(track, "reconfig", tr.Start, tr.Up, args)
+			switch {
+			case tr.SetupFailed:
+				snk.TickInstant(track, "setup-failed", tr.Up, args)
+			case tr.Down > tr.Up:
+				snk.TickSpan(track, "transmit", tr.Up, tr.Down, args)
+			}
+		}
+	}
+}
