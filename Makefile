@@ -38,7 +38,7 @@ bench-short:
 
 # Timing records for the perf trajectory (name, ns/op, allocs/op, workers).
 bench-json:
-	$(GO) run ./cmd/recobench -bench -exp all,kcore > BENCH_experiments.json
+	$(GO) run ./cmd/recobench -bench -exp all,kcore,frontier,micro > BENCH_experiments.json
 
 # Short closed-loop load test against an in-process recod (~2 s of driving):
 # runs recoload, then recobench -compare against the committed baseline with

@@ -7,6 +7,7 @@
 //	recobench -exp all              # everything, in presentation order
 //	recobench -exp all,kcore        # presentation order plus an off-order id
 //	recobench -exp fig6 -csv        # machine-readable output
+//	recobench -exp micro -bench     # scheduler-primitive micro-benchmarks
 //	recobench -list                 # available experiment ids
 //	recobench -compare old.json new.json   # diff two -bench outputs
 //
@@ -121,6 +122,12 @@ func run() int {
 	if *bench {
 		return runBench(registry, ids, cfg)
 	}
+	for _, id := range ids {
+		if strings.HasPrefix(id, "micro/") {
+			fmt.Fprintf(os.Stderr, "recobench: %s is a micro-benchmark; it emits timing records only (use -bench)\n", id)
+			return 2
+		}
+	}
 
 	type outcome struct {
 		table   *experiments.Table
@@ -188,10 +195,12 @@ func run() int {
 }
 
 // expandExpList resolves a comma-separated -exp value into experiment ids:
-// "all" expands in place to the presentation order, every id must be
-// registered, and duplicates collapse to their first occurrence so
-// "all,kcore" never runs an experiment twice.
+// "all" expands in place to the presentation order, "micro" to the
+// scheduler-primitive micro-benchmarks, every other id must be a registered
+// experiment or micro-benchmark, and duplicates collapse to their first
+// occurrence so "all,kcore" never runs an experiment twice.
 func expandExpList(spec string, registry map[string]experiments.Runner) ([]string, error) {
+	micro := microByID()
 	var ids []string
 	seen := make(map[string]bool)
 	add := func(id string) {
@@ -209,8 +218,14 @@ func expandExpList(spec string, registry map[string]experiments.Runner) ([]strin
 			for _, id := range experiments.Order() {
 				add(id)
 			}
+		case part == "micro":
+			for _, mb := range microBenches() {
+				add(mb.id)
+			}
 		default:
-			if _, ok := registry[part]; !ok {
+			_, isExp := registry[part]
+			_, isMicro := micro[part]
+			if !isExp && !isMicro {
 				return nil, fmt.Errorf("unknown experiment %q (use -list)", part)
 			}
 			add(part)
@@ -230,11 +245,24 @@ type benchRecord struct {
 
 // runBench times each selected experiment via testing.Benchmark (so slow
 // experiments run once and fast ones iterate to a stable estimate) and
-// writes the records as a JSON array on stdout.
+// writes the records as a JSON array on stdout. Micro-benchmark ids
+// (micro/...) time their scheduler primitive directly; they run on one
+// goroutine, so their records carry workers = 1.
 func runBench(registry map[string]experiments.Runner, ids []string, cfg experiments.Config) int {
 	effective := parallel.Workers(cfg.Workers)
+	micro := microByID()
 	records := make([]benchRecord, 0, len(ids))
 	for _, id := range ids {
+		if run, ok := micro[id]; ok {
+			res := testing.Benchmark(run)
+			records = append(records, benchRecord{
+				Name:        id,
+				NsPerOp:     float64(res.NsPerOp()),
+				AllocsPerOp: res.AllocsPerOp(),
+				Workers:     1,
+			})
+			continue
+		}
 		fn := registry[id]
 		var runErr error
 		res := testing.Benchmark(func(b *testing.B) {

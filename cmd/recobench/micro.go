@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"reco/internal/bvn"
+	"reco/internal/matrix"
+)
+
+// microN is the fabric size the micro-benchmarks decompose — large enough
+// that the full decomposition's long tail of small terms dominates, which is
+// exactly the cost DecomposeK's term bound cuts (docs/PERF.md).
+const microN = 128
+
+// microStuffed builds the stuffed matrix every micro-benchmark decomposes:
+// ~8 positive entries per row with values in 1..1000, the workload shape the
+// schedulers see, seeded by the fabric size so every run times the same
+// input.
+func microStuffed(n int) *matrix.Matrix {
+	rng := rand.New(rand.NewSource(int64(n)))
+	m, err := matrix.New(n)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		for e := 0; e < 8; e++ {
+			m.Set(i, rng.Intn(n), 1+rng.Int63n(1000))
+		}
+	}
+	return matrix.StuffPreferNonZero(m)
+}
+
+// microBenches lists the scheduler-primitive micro-benchmarks `-exp micro`
+// expands to, in output order. They complement the experiment-level records
+// in BENCH_experiments.json with the decomposition costs the reco-sparse
+// frontier trades against: the full max–min BvN versus DecomposeK at the
+// swept term bounds.
+func microBenches() []microBench {
+	mk := func(id string, k int) microBench {
+		return microBench{id: id, run: func(b *testing.B) {
+			m := microStuffed(microN)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if k == 0 {
+					if _, err := bvn.Decompose(m, bvn.MaxMin); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					if _, _, err := bvn.DecomposeK(context.Background(), m, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}}
+	}
+	return []microBench{
+		mk("micro/bvn-full/n=128", 0),
+		mk("micro/bvn-k=4/n=128", 4),
+		mk("micro/bvn-k=8/n=128", 8),
+		mk("micro/bvn-k=16/n=128", 16),
+	}
+}
+
+type microBench struct {
+	id  string
+	run func(b *testing.B)
+}
+
+// microByID indexes microBenches for runBench's dispatch.
+func microByID() map[string]func(b *testing.B) {
+	m := make(map[string]func(b *testing.B))
+	for _, mb := range microBenches() {
+		m[mb.id] = mb.run
+	}
+	return m
+}

@@ -88,6 +88,7 @@ func runSingle(ctx context.Context, client *api.Client, args []string, stdin io.
 	deadlineMS := fs.Int64("deadline-ms", 0, "request SLA in milliseconds (0 = none); the server answers 504 past it")
 	weight := fs.Float64("weight", 0, "admission weight (0 = default 1); heavier requests are shed last under overload")
 	cores := fs.Int("cores", 0, "K-core fabric width (0 or 1 = single switch; K > 1 needs a cores-capable algorithm)")
+	k := fs.Int("k", 0, "BvN term bound per coflow (0 = algorithm default; > 0 needs a sparse-capable algorithm)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,7 +97,7 @@ func runSingle(ctx context.Context, client *api.Client, args []string, stdin io.
 		return err
 	}
 	resp, err := client.ScheduleSingle(ctx, api.SingleRequest{
-		Demand: demand, Delta: *delta, DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores,
+		Demand: demand, Delta: *delta, DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores, K: *k,
 	})
 	if err != nil {
 		return err
@@ -113,6 +114,7 @@ func runMulti(ctx context.Context, client *api.Client, args []string, stdin io.R
 	deadlineMS := fs.Int64("deadline-ms", 0, "request SLA in milliseconds (0 = none); the server answers 504 past it")
 	weight := fs.Float64("weight", 0, "admission weight (0 = default 1); heavier requests are shed last under overload")
 	cores := fs.Int("cores", 0, "K-core fabric width (0 or 1 = single switch; K > 1 needs a cores-capable algorithm)")
+	k := fs.Int("k", 0, "BvN term bound per coflow (0 = algorithm default; > 0 needs a sparse-capable algorithm)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,7 +123,7 @@ func runMulti(ctx context.Context, client *api.Client, args []string, stdin io.R
 		return err
 	}
 	resp, err := client.ScheduleMulti(ctx, api.MultiRequest{
-		Demands: demands, Delta: *delta, C: *c, DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores,
+		Demands: demands, Delta: *delta, C: *c, DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores, K: *k,
 	})
 	if err != nil {
 		return err
@@ -191,6 +193,7 @@ func runJobSubmit(ctx context.Context, client *api.Client, args []string, stdin 
 	deadlineMS := fs.Int64("deadline-ms", 0, "job SLA in milliseconds (0 = none); drives admission and miss reporting")
 	weight := fs.Float64("weight", 0, "admission weight (0 = default 1); heavier jobs are shed last under overload")
 	cores := fs.Int("cores", 0, "K-core fabric width (0 or 1 = single switch; K > 1 needs a cores-capable algorithm)")
+	k := fs.Int("k", 0, "BvN term bound per coflow (0 = algorithm default; > 0 needs a sparse-capable algorithm)")
 	wait := fs.Bool("wait", false, "poll until the job finishes and print the final state")
 	poll := fs.Duration("poll", 100*time.Millisecond, "polling interval with -wait")
 	if err := fs.Parse(args); err != nil {
@@ -205,7 +208,7 @@ func runJobSubmit(ctx context.Context, client *api.Client, args []string, stdin 
 		}
 		req.Single = &api.SingleRequest{
 			Demand: demand, Delta: *delta, Algorithm: *alg,
-			DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores,
+			DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores, K: *k,
 		}
 	case "multi":
 		demands, err := readDemands(*demandsPath, stdin)
@@ -214,7 +217,7 @@ func runJobSubmit(ctx context.Context, client *api.Client, args []string, stdin 
 		}
 		req.Multi = &api.MultiRequest{
 			Demands: demands, Delta: *delta, C: *c, Algorithm: *alg,
-			DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores,
+			DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores, K: *k,
 		}
 	default:
 		return fmt.Errorf("unknown job kind %q", *kind)

@@ -43,6 +43,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -105,17 +106,23 @@ type opStats struct {
 // report is the run's JSON output. MissRate is missed / completed across
 // all kinds (0 when nothing carried a deadline or nothing completed).
 type report struct {
-	Config          config             `json:"config"`
-	DurationSeconds float64            `json:"duration_seconds"`
-	TotalRequests   int64              `json:"total_requests"`
-	TotalErrors     int64              `json:"total_errors"`
-	TotalRejected   int64              `json:"total_rejected,omitempty"`
-	TotalShed       int64              `json:"total_shed,omitempty"`
-	TotalMissed     int64              `json:"total_missed,omitempty"`
-	MissRate        float64            `json:"miss_rate,omitempty"`
-	ThroughputRPS   float64            `json:"throughput_rps"`
-	Ops             map[string]opStats `json:"ops"`
-	Metrics         map[string]any     `json:"metrics,omitempty"`
+	Config          config  `json:"config"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	TotalRequests   int64   `json:"total_requests"`
+	TotalErrors     int64   `json:"total_errors"`
+	TotalRejected   int64   `json:"total_rejected,omitempty"`
+	TotalShed       int64   `json:"total_shed,omitempty"`
+	TotalMissed     int64   `json:"total_missed,omitempty"`
+	MissRate        float64 `json:"miss_rate,omitempty"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	// AllocsPerOp is the process-wide heap allocation count (runtime
+	// MemStats.Mallocs delta across the drive loop) divided by completed
+	// requests, blended over every kind in the mix. With -inprocess it
+	// includes the server's allocations — the figure that matters for the
+	// serving path's steady-state GC pressure.
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Ops         map[string]opStats `json:"ops"`
+	Metrics     map[string]any     `json:"metrics,omitempty"`
 }
 
 // benchRecord mirrors the recobench result schema so recoload output feeds
@@ -351,6 +358,8 @@ func drive(base string, cfg config, mix map[string]float64, pool [][][]int64) (*
 
 	results := make([][]sample, cfg.Concurrency)
 	var wg sync.WaitGroup
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
 	for w := 0; w < cfg.Concurrency; w++ {
@@ -412,6 +421,9 @@ func drive(base string, cfg config, mix map[string]float64, pool [][][]int64) (*
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	mallocs := memAfter.Mallocs - memBefore.Mallocs
 
 	byKind := make(map[string][]int64)
 	counts := make(map[string]map[string]int64)
@@ -449,6 +461,9 @@ func drive(base string, cfg config, mix map[string]float64, pool [][][]int64) (*
 	}
 	if elapsed > 0 {
 		rep.ThroughputRPS = float64(rep.TotalRequests) / elapsed.Seconds()
+	}
+	if rep.TotalRequests > 0 {
+		rep.AllocsPerOp = int64(mallocs) / rep.TotalRequests
 	}
 	return rep, nil
 }
@@ -512,7 +527,10 @@ func summarize(ns []int64, elapsed time.Duration) opStats {
 }
 
 // toBench renders the report as recobench-schema records, one per request
-// kind, named recoload/<kind>/<label> with p50 latency as ns/op.
+// kind, named recoload/<kind>/<label> with p50 latency as ns/op. Allocs/op
+// is the run's blended process-wide figure (see report.AllocsPerOp) — a
+// closed-loop driver cannot attribute heap allocations to one kind, so
+// every record of a run carries the same value.
 func (r *report) toBench() []benchRecord {
 	kinds := make([]string, 0, len(r.Ops))
 	for k := range r.Ops {
@@ -526,9 +544,10 @@ func (r *report) toBench() []benchRecord {
 			continue
 		}
 		recs = append(recs, benchRecord{
-			Name:    fmt.Sprintf("recoload/%s/%s", k, r.Config.Label),
-			NsPerOp: st.P50Ns,
-			Workers: r.Config.Concurrency,
+			Name:        fmt.Sprintf("recoload/%s/%s", k, r.Config.Label),
+			NsPerOp:     st.P50Ns,
+			AllocsPerOp: r.AllocsPerOp,
+			Workers:     r.Config.Concurrency,
 		})
 	}
 	return recs

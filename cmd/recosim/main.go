@@ -18,6 +18,7 @@
 //	online-sebf      online controller, SEBF admission: smallest bottleneck first via Reco-Sin
 //	reco-mul         full Reco-Mul pipeline: primal-dual order, packet list schedule, Algorithm 2 transformation
 //	reco-sin         Reco-Sin (Algorithm 1) per coflow: regularize, stuff, max-min BvN; coflows back-to-back
+//	reco-sparse      sparsity-bounded BvN: at most -k max-min terms per coflow plus full-drain residual cleanup
 //	sebf-solstice    smallest-effective-bottleneck-first coflow order, Solstice schedule per coflow
 //	solstice         Solstice per coflow: stuff + max-min BvN without regularization; coflows back-to-back
 //	sunflow          Sunflow: one circuit per flow, longest-first, not-all-stop model; coflows back-to-back
@@ -31,6 +32,12 @@
 // cores sharing the ports, one transceiver per core per port (see
 // docs/TOPOLOGY.md). Only algorithms advertising the cores capability
 // accept K > 1; -cores 1 is the paper's single switch for every algorithm.
+//
+// With -k (k > 0) sparsity-bounded algorithms cap each coflow's BvN
+// decomposition at k permutation terms and drain whatever demand the k terms
+// leave behind with cleanup matchings — trading a little CCT for far fewer
+// reconfigurations (see docs/PERF.md and results/frontier.csv). Only
+// algorithms advertising the sparse capability accept -k > 0.
 //
 // Scheduling honors Ctrl-C: cancelling the run aborts in-flight LP solves
 // and BvN decompositions.
@@ -82,6 +89,7 @@ func run() int {
 		delta      = flag.Int64("delta", 100, "reconfiguration delay in ticks")
 		c          = flag.Int64("c", 4, "optical transmission threshold")
 		cores      = flag.Int("cores", 1, "parallel switching cores K (K > 1 needs an algorithm with the cores capability)")
+		kTerms     = flag.Int("k", 0, "BvN term bound per coflow (0 = algorithm default; > 0 needs the sparse capability)")
 		rescale    = flag.Int("rescale", 0, "fold the workload onto this many ports (0: keep)")
 		perCoflow  = flag.Bool("percoflow", false, "print each coflow's CCT")
 		showGantt  = flag.Bool("gantt", false, "render the schedule as an ASCII Gantt chart")
@@ -104,6 +112,10 @@ func run() int {
 		return 0
 	}
 	if err := validateCores(*cores, *withFaults); err != nil {
+		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
+		return 1
+	}
+	if err := validateK(*kTerms, *withFaults); err != nil {
 		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
 		return 1
 	}
@@ -167,7 +179,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
 		return 1
 	}
-	res, err := sched.Schedule(ctx, algo.Request{Demands: ds, Weights: w, Delta: *delta, C: *c, Cores: *cores})
+	if err := checkSparseCap(*alg, sched.Caps(), *kTerms); err != nil {
+		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
+		return 1
+	}
+	res, err := sched.Schedule(ctx, algo.Request{Demands: ds, Weights: w, Delta: *delta, C: *c, Cores: *cores, K: *kTerms})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
 		return 1
@@ -196,6 +212,9 @@ func run() int {
 	fmt.Printf("delta, c       %d ticks, %d\n", *delta, *c)
 	if *cores > 1 {
 		fmt.Printf("cores          %d\n", *cores)
+	}
+	if *kTerms > 0 {
+		fmt.Printf("k              %d terms\n", *kTerms)
 	}
 	fmt.Printf("reconfigs      %d\n", reconfigs)
 	fmt.Printf("avg CCT        %.0f ticks\n", mean)
@@ -259,6 +278,28 @@ func checkCoresCap(alg string, caps algo.Capabilities, cores int) error {
 	return nil
 }
 
+// validateK rejects malformed -k values before any scheduling work: a
+// negative term bound is meaningless, and the fault simulator replays full
+// Reco-Sin schedules only.
+func validateK(k int, faulted bool) error {
+	if k < 0 {
+		return fmt.Errorf("-k %d: term bound must be non-negative", k)
+	}
+	if k > 0 && faulted {
+		return fmt.Errorf("-faults runs full Reco-Sin schedules; -k must be 0")
+	}
+	return nil
+}
+
+// checkSparseCap rejects -k > 0 for algorithms that always emit the full
+// decomposition and would silently ignore the term bound.
+func checkSparseCap(alg string, caps algo.Capabilities, k int) error {
+	if k > 0 && !caps.Sparse {
+		return fmt.Errorf("-k %d: algorithm %s ignores the term bound (no sparse capability)", k, alg)
+	}
+	return nil
+}
+
 // capTags renders capability flags compactly, e.g.
 // "[single multi flows]" or "[single not-all-stop]".
 func capTags(c algo.Capabilities) string {
@@ -277,6 +318,9 @@ func capTags(c algo.Capabilities) string {
 	}
 	if c.Cores {
 		tags = append(tags, "cores")
+	}
+	if c.Sparse {
+		tags = append(tags, "sparse")
 	}
 	return "[" + strings.Join(tags, " ") + "]"
 }

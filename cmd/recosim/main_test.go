@@ -111,6 +111,32 @@ func TestCoresValidation(t *testing.T) {
 	}
 }
 
+// TestKValidation: -k < 0 and -k with -faults are rejected with clear
+// errors, and k > 0 requires the sparse capability.
+func TestKValidation(t *testing.T) {
+	if err := validateK(-1, false); err == nil {
+		t.Error("-k -1 accepted")
+	}
+	if err := validateK(4, true); err == nil {
+		t.Error("-k 4 with -faults accepted")
+	}
+	if err := validateK(0, true); err != nil {
+		t.Errorf("-k 0 with -faults rejected: %v", err)
+	}
+	if err := validateK(8, false); err != nil {
+		t.Errorf("-k 8 rejected: %v", err)
+	}
+	if err := checkSparseCap("reco-sin", algo.Capabilities{}, 4); err == nil {
+		t.Error("-k 4 accepted for a dense-only algorithm")
+	}
+	if err := checkSparseCap("reco-sparse", algo.Capabilities{Sparse: true}, 4); err != nil {
+		t.Errorf("-k 4 rejected for a sparse-capable algorithm: %v", err)
+	}
+	if err := checkSparseCap("reco-sin", algo.Capabilities{}, 0); err != nil {
+		t.Errorf("-k 0 rejected for a dense-only algorithm: %v", err)
+	}
+}
+
 // TestListAlgorithmsOutput: `-alg list` prints one line per registered
 // scheduler, leading with its name.
 func TestListAlgorithmsOutput(t *testing.T) {

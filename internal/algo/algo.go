@@ -69,6 +69,10 @@ const (
 	// order, load-balanced demand splitting across Request.Cores switching
 	// cores, Reco-Sin per core share.
 	NameKCore = "kcore"
+	// NameRecoSparse is the sparsity-bounded Reco-Sin variant: at most
+	// Request.K max–min BvN terms plus full-drain cleanup establishments
+	// covering the residual.
+	NameRecoSparse = "reco-sparse"
 )
 
 // Capabilities describes what a Scheduler supports, for dispatchers that
@@ -92,6 +96,10 @@ type Capabilities struct {
 	// multi-core fabric. Algorithms without it treat every request as
 	// single-core and dispatchers must reject Cores > 1 for them.
 	Cores bool
+	// Sparse: the algorithm honors Request.K, the sparsity bound on BvN
+	// permutation terms. Dispatchers must reject K > 0 for algorithms
+	// without it, which would silently ignore the knob.
+	Sparse bool
 }
 
 // Request is the unified scheduling input: a coflow set with optional
@@ -112,6 +120,10 @@ type Request struct {
 	// both mean the paper's single switch. Only algorithms whose
 	// Capabilities.Cores is set honor values above 1.
 	Cores int
+	// K bounds the number of BvN permutation terms per coflow for
+	// sparsity-bounded schedulers (reco-sparse); 0 means the algorithm's
+	// default. Only algorithms whose Capabilities.Sparse is set honor it.
+	K int
 }
 
 // Result is the unified scheduling output.
@@ -167,6 +179,9 @@ func ValidateRequest(req Request) error {
 	}
 	if req.Cores < 0 {
 		return fmt.Errorf("%w: negative core count %d", ErrBadRequest, req.Cores)
+	}
+	if req.K < 0 {
+		return fmt.Errorf("%w: negative term bound %d", ErrBadRequest, req.K)
 	}
 	return nil
 }

@@ -1,0 +1,28 @@
+package builtin
+
+import (
+	"context"
+	"fmt"
+
+	"reco/internal/algo"
+	"reco/internal/core"
+	"reco/internal/matrix"
+	"reco/internal/ocs"
+)
+
+func init() {
+	// reco-sparse caps the BvN decomposition at Request.K max–min terms
+	// (default core.DefaultSparseK) and covers the residual with full-drain
+	// cleanup matchings: far fewer reconfigurations than the full
+	// decomposition at a bounded CCT cost (results/frontier.csv). The term
+	// bound replaces Reco's δ-regularization as the sparsification mechanism,
+	// so the k = nnz limit is exactly Solstice.
+	algo.Register(&perCoflow{
+		name: algo.NameRecoSparse,
+		desc: fmt.Sprintf("sparsity-bounded BvN: stuff, k-term max-min BvN (default k=%d) plus full-drain residual cleanup; coflows back-to-back", core.DefaultSparseK),
+		caps: algo.Capabilities{SingleCoflow: true, FlowLevel: true, Sparse: true},
+		build: func(ctx context.Context, d *matrix.Matrix, req algo.Request) (ocs.CircuitSchedule, error) {
+			return core.RecoSparseCtx(ctx, d, req.Delta, req.K)
+		},
+	})
+}

@@ -116,6 +116,10 @@ func (s *Server) schedule(ctx context.Context, name string, req algo.Request) (*
 		return nil, fmt.Errorf("%w: cores %d: algorithm %s schedules a single switch (no cores capability)",
 			algo.ErrBadRequest, req.Cores, name)
 	}
+	if req.K > 0 && !sched.Caps().Sparse {
+		return nil, fmt.Errorf("%w: k %d: algorithm %s ignores the term bound (no sparse capability)",
+			algo.ErrBadRequest, req.K, name)
+	}
 	if s.group == nil {
 		return sched.Schedule(ctx, req)
 	}
@@ -148,6 +152,10 @@ type SingleRequest struct {
 	// mean the paper's single switch; K > 1 needs an algorithm whose
 	// capabilities include cores.
 	Cores int `json:"cores,omitempty"`
+	// K bounds the BvN permutation terms for sparsity-bounded schedulers
+	// (reco-sparse). Zero means the algorithm's default; K > 0 needs an
+	// algorithm whose capabilities include sparse.
+	K int `json:"k,omitempty"`
 }
 
 // toAlgo validates the request into the registry shape.
@@ -160,7 +168,7 @@ func (r SingleRequest) toAlgo() (string, algo.Request, error) {
 	if name == "" {
 		name = algo.NameRecoSin
 	}
-	return name, algo.Request{Demands: []*matrix.Matrix{d}, Delta: r.Delta, C: defaultC, Cores: r.Cores}, nil
+	return name, algo.Request{Demands: []*matrix.Matrix{d}, Delta: r.Delta, C: defaultC, Cores: r.Cores, K: r.K}, nil
 }
 
 // Assignment mirrors ocs.Assignment for the wire.
@@ -214,6 +222,8 @@ type MultiRequest struct {
 	Weight float64 `json:"weight,omitempty"`
 	// Cores is the K-core fabric width; see SingleRequest.Cores.
 	Cores int `json:"cores,omitempty"`
+	// K is the BvN term bound; see SingleRequest.K.
+	K int `json:"k,omitempty"`
 }
 
 // toAlgo validates the request into the registry shape.
@@ -233,7 +243,7 @@ func (r MultiRequest) toAlgo() (string, algo.Request, error) {
 	if name == "" {
 		name = algo.NameRecoMul
 	}
-	return name, algo.Request{Demands: ds, Weights: r.Weights, Delta: r.Delta, C: r.C, Cores: r.Cores}, nil
+	return name, algo.Request{Demands: ds, Weights: r.Weights, Delta: r.Delta, C: r.C, Cores: r.Cores, K: r.K}, nil
 }
 
 // Flow mirrors schedule.FlowInterval for the wire.
@@ -289,6 +299,7 @@ type Capabilities struct {
 	NotAllStop   bool `json:"notAllStop"`
 	FlowLevel    bool `json:"flowLevel"`
 	Cores        bool `json:"cores"`
+	Sparse       bool `json:"sparse"`
 }
 
 // AlgorithmsResponse lists the scheduler registry in deterministic order.
@@ -390,6 +401,7 @@ func handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 				NotAllStop:   c.NotAllStop,
 				FlowLevel:    c.FlowLevel,
 				Cores:        c.Cores,
+				Sparse:       c.Sparse,
 			},
 		})
 	}

@@ -1,6 +1,7 @@
 package bvn
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -51,6 +52,26 @@ func BenchmarkDecomposeFirstFit(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				terms, err := Decompose(m, FirstFit)
+				if err != nil || len(terms) == 0 {
+					b.Fatalf("terms=%d err=%v", len(terms), err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecomposeK measures the sparsity-bounded decomposition at the
+// term bounds the frontier experiment sweeps: k warm-started max-min
+// extractions plus the residual export, skipping the full decomposition's
+// long tail of small terms (docs/PERF.md).
+func BenchmarkDecomposeK(b *testing.B) {
+	for _, k := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("k=%d/n=128", k), func(b *testing.B) {
+			m := benchStuffed(rand.New(rand.NewSource(128)), 128)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				terms, _, err := DecomposeK(context.Background(), m, k)
 				if err != nil || len(terms) == 0 {
 					b.Fatalf("terms=%d err=%v", len(terms), err)
 				}

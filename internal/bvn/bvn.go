@@ -104,7 +104,7 @@ func DecomposeCtx(ctx context.Context, m *matrix.Matrix, s Strategy) ([]Term, er
 	snk := obs.Current()
 	snk.Inc("bvn_decompositions_total")
 	snk.Count("bvn_terms_total", int64(len(terms)))
-	snk.ObserveBuckets("bvn_terms_per_matrix", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, float64(len(terms)))
+	snk.ObserveBuckets("bvn_terms_per_matrix", termBuckets, float64(len(terms)))
 	return terms, nil
 }
 

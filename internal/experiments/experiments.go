@@ -236,11 +236,12 @@ func registry() map[string]Runner {
 		"ext-scale":      ExtScale,
 		"ext-nas":        ExtNAS,
 		"ext-full":       ExtFull,
-		// Registered but not in Order(): regenerate results/admission.csv
-		// and results/kcore.csv explicitly with
+		// Registered but not in Order(): regenerate results/admission.csv,
+		// results/kcore.csv and results/frontier.csv explicitly with
 		// `recobench -exp <id> -outdir results`.
 		"admission": Admission,
 		"kcore":     KCore,
+		"frontier":  Frontier,
 	}
 }
 

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"reco/internal/core"
+	"reco/internal/matrix"
+	"reco/internal/ocs"
+	"reco/internal/parallel"
+	"reco/internal/solstice"
+	"reco/internal/workload"
+)
+
+// frontierKs is the term-bound sweep the frontier experiment publishes.
+var frontierKs = []int{1, 2, 4, 8, 16}
+
+// Frontier sweeps the BvN term bound k over per-density-class coflow
+// batches, mapping the reconfiguration-vs-CCT frontier of the reco-sparse
+// scheduler (docs/PERF.md). For each class and each k, every coflow in the
+// batch is scheduled by the sparsity-bounded pipeline (stuff, k max–min
+// terms via bvn.DecomposeK, full-drain residual cleanup) and executed
+// under the all-stop model; the "full" row is the k = nnz limit — Solstice's
+// complete unregularized decomposition — on the same batch. Reported per
+// row: the batch's summed CCT and executed reconfigurations, plus both as
+// ratios against the full decomposition. The shape that matters: at the
+// knee (small k on sparse and normal classes) the sparse schedule performs
+// several times fewer reconfigurations while its CCT stays within a small
+// constant factor of — often below — the full decomposition's.
+//
+// The experiment is registered as "frontier" but intentionally not part of
+// Order(), so `recobench -exp all` output is unchanged; regenerate
+// results/frontier.csv with `recobench -exp frontier -outdir results`.
+func Frontier(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:    "frontier",
+		Title: fmt.Sprintf("sparse-decomposition frontier (reco-sparse k sweep vs full BvN, delta=%d)", cfg.Delta),
+		Columns: []string{
+			"cct", "reconfigs", "cct/full", "reconfigs/full",
+		},
+		Notes: []string{
+			"summed all-stop CCT and executed reconfigurations of one per-density-class batch, one coflow at a time",
+			"full = Solstice's complete unregularized decomposition, the k = nnz limit of the same pipeline",
+		},
+	}
+
+	coflows, err := workload.Generate(workload.GenConfig{
+		N: cfg.MulN, NumCoflows: cfg.SingleCoflows, Seed: parallel.Seed(cfg.Seed, saltFrontier),
+		MinDemand: cfg.C * cfg.Delta, MeanDemand: cfg.C * cfg.Delta,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("frontier: %w", err)
+	}
+	batches := make(map[workload.Class][]*matrix.Matrix)
+	for _, c := range coflows {
+		cl := workload.Classify(c.Demand)
+		if len(batches[cl]) < cfg.MulCoflows {
+			batches[cl] = append(batches[cl], c.Demand)
+		}
+	}
+
+	// One variant per class and term bound; k = 0 encodes the full baseline.
+	type variant struct {
+		class workload.Class
+		k     int
+	}
+	var variants []variant
+	for _, cl := range classOrder {
+		if len(batches[cl]) == 0 {
+			continue
+		}
+		variants = append(variants, variant{cl, 0})
+		for _, k := range frontierKs {
+			variants = append(variants, variant{cl, k})
+		}
+	}
+
+	// batchRun plays every coflow of the batch through its schedule alone on
+	// the switch and sums CCTs and executed reconfigurations.
+	batchRun := func(ds []*matrix.Matrix, k int) (cct float64, reconfigs float64, err error) {
+		for _, d := range ds {
+			var cs ocs.CircuitSchedule
+			if k == 0 {
+				cs, err = solstice.Schedule(d)
+			} else {
+				cs, err = core.RecoSparse(d, cfg.Delta, k)
+			}
+			if err != nil {
+				return 0, 0, err
+			}
+			res, err := ocs.ExecAllStop(d, cs, cfg.Delta)
+			if err != nil {
+				return 0, 0, err
+			}
+			cct += float64(res.CCT)
+			reconfigs += float64(res.Reconfigs)
+		}
+		return cct, reconfigs, nil
+	}
+
+	rows, err := parallel.Map(cfg.workers(), len(variants), func(i int) (Row, error) {
+		v := variants[i]
+		ds := batches[v.class]
+		cct, reconfigs, err := batchRun(ds, v.k)
+		if err != nil {
+			return Row{}, fmt.Errorf("frontier %s k=%d: %w", className(v.class), v.k, err)
+		}
+		fullCCT, fullReconfigs, err := batchRun(ds, 0)
+		if err != nil {
+			return Row{}, fmt.Errorf("frontier %s full: %w", className(v.class), err)
+		}
+		label := fmt.Sprintf("%s/k=%d", className(v.class), v.k)
+		if v.k == 0 {
+			label = className(v.class) + "/full"
+		}
+		return Row{
+			Label: label,
+			Cells: []float64{cct, reconfigs, cct / fullCCT, reconfigs / fullReconfigs},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	return t, nil
+}

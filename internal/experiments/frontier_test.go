@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallFrontierConfig keeps the frontier experiment fast in tests while
+// leaving every density class with at least one coflow.
+func smallFrontierConfig() Config {
+	return Config{Seed: 1, MulN: 24, SingleCoflows: 60, MulCoflows: 6}
+}
+
+// TestFrontierShape checks the qualitative claims results/frontier.csv
+// publishes: every class leads with a full-decomposition row whose ratios
+// are exactly 1, the k rows never perform more reconfigurations than the
+// full decomposition, and somewhere on the sweep the reconfiguration count
+// drops below half of full — the frontier is not flat.
+func TestFrontierShape(t *testing.T) {
+	tbl, err := Frontier(smallFrontierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perClass := 1 + len(frontierKs)
+	if len(tbl.Rows) == 0 || len(tbl.Rows)%perClass != 0 {
+		t.Fatalf("got %d rows, want a multiple of %d (one full row + one per k per class)",
+			len(tbl.Rows), perClass)
+	}
+	if classes := len(tbl.Rows) / perClass; classes < 2 {
+		t.Fatalf("only %d density classes swept; the frontier needs at least 2", classes)
+	}
+	sparseWins := false
+	for i, r := range tbl.Rows {
+		cct, reconfigs, cctRatio, rcRatio := r.Cells[0], r.Cells[1], r.Cells[2], r.Cells[3]
+		if cct <= 0 || reconfigs <= 0 {
+			t.Errorf("%s: non-positive cct %.0f or reconfigs %.0f", r.Label, cct, reconfigs)
+		}
+		if i%perClass == 0 {
+			if !strings.HasSuffix(r.Label, "/full") {
+				t.Errorf("row %d (%s): class sweep must lead with the /full baseline", i, r.Label)
+			}
+			if cctRatio != 1 || rcRatio != 1 {
+				t.Errorf("%s: baseline ratios %.3f, %.3f, want exactly 1", r.Label, cctRatio, rcRatio)
+			}
+			continue
+		}
+		if !strings.Contains(r.Label, "/k=") {
+			t.Errorf("row label %q missing the /k= sweep marker", r.Label)
+		}
+		if rcRatio > 1 {
+			t.Errorf("%s: k-bounded schedule performs more reconfigurations than full (%.3f)",
+				r.Label, rcRatio)
+		}
+		if rcRatio <= 0.5 {
+			sparseWins = true
+		}
+	}
+	if !sparseWins {
+		t.Error("no sweep point halves the reconfiguration count; the frontier is vacuous")
+	}
+}
+
+// TestFrontierDeterministicAcrossWorkers: the table is identical at any
+// worker count (docs/PARALLEL.md).
+func TestFrontierDeterministicAcrossWorkers(t *testing.T) {
+	cfg := smallFrontierConfig()
+	cfg.Workers = 1
+	a, err := Frontier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 7
+	b, err := Frontier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CSV() != b.CSV() {
+		t.Fatalf("frontier table varies with worker count:\n%s\nvs\n%s", a.CSV(), b.CSV())
+	}
+}
+
+// TestFrontierRegisteredNotOrdered: frontier is reachable by id but stays
+// out of Order(), keeping `recobench -exp all` (and results/all.txt)
+// unchanged.
+func TestFrontierRegisteredNotOrdered(t *testing.T) {
+	if _, ok := Registry()["frontier"]; !ok {
+		t.Fatal("frontier missing from Registry()")
+	}
+	for _, id := range Order() {
+		if id == "frontier" {
+			t.Fatal("frontier must not join Order(): results/all.txt would change")
+		}
+	}
+}

@@ -34,6 +34,7 @@ const (
 	saltNAS
 	saltAdmission
 	saltKCore
+	saltFrontier
 )
 
 func className(cl workload.Class) string {

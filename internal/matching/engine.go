@@ -82,14 +82,10 @@ func (e *Engine) Reset(m *matrix.Matrix, order Order) {
 	for i := 0; i < n; i++ {
 		e.prev[i] = -1
 	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if v := m.At(i, j); v > 0 {
-				e.entries = append(e.entries, entry{u: int32(i), v: int32(j), w: v})
-				e.remaining += v
-			}
-		}
-	}
+	m.ForEachNonZero(func(i, j int, v int64) {
+		e.entries = append(e.entries, entry{u: int32(i), v: int32(j), w: v})
+		e.remaining += v
+	})
 	if order == Descending {
 		sortEntriesDesc(e.entries)
 	}
@@ -105,6 +101,15 @@ func (e *Engine) Remaining() int64 { return e.remaining }
 
 // Support returns the number of positive entries left.
 func (e *Engine) Support() int { return len(e.entries) }
+
+// ForEachEntry calls f for every positive entry left in the support, in the
+// engine's current entry order. Sparse consumers use it to materialize the
+// residual after a partial extraction without rescanning the dense matrix.
+func (e *Engine) ForEachEntry(f func(i, j int, w int64)) {
+	for _, en := range e.entries {
+		f(int(en.u), int(en.v), en.w)
+	}
+}
 
 // Bottleneck computes the max–min perfect matching of the current support:
 // the perfect matching whose minimum entry value is maximized, and that

@@ -156,6 +156,40 @@ func (m *Matrix) MaxRowColNonZeros() int {
 	return tau
 }
 
+// Cell is one strictly positive entry of a matrix, as collected by
+// AppendNonZeros.
+type Cell struct {
+	I, J int
+	V    int64
+}
+
+// ForEachNonZero calls f for every strictly positive entry in row-major
+// order. It walks the backing cells directly, so sparse consumers (BvN
+// support scans, residual drain loops) visit only the support instead of
+// paying per-cell At indexing over the dense n² grid.
+func (m *Matrix) ForEachNonZero(f func(i, j int, v int64)) {
+	idx := 0
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if v := m.cells[idx]; v > 0 {
+				f(i, j, v)
+			}
+			idx++
+		}
+	}
+}
+
+// AppendNonZeros appends every strictly positive entry to buf in row-major
+// order and returns the extended slice. Passing a retained buffer's buf[:0]
+// makes repeated support scans allocation-free once the buffer reaches its
+// steady-state capacity, the discipline the sparse scheduling paths follow.
+func (m *Matrix) AppendNonZeros(buf []Cell) []Cell {
+	m.ForEachNonZero(func(i, j int, v int64) {
+		buf = append(buf, Cell{I: i, J: j, V: v})
+	})
+	return buf
+}
+
 // NonZeros returns the number of strictly positive entries.
 func (m *Matrix) NonZeros() int {
 	cnt := 0

@@ -299,3 +299,61 @@ func TestStuffProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestForEachNonZero: the skip-zero iterator visits exactly the positive
+// entries in row-major order, and AppendNonZeros materializes the same walk
+// into a reusable buffer.
+func TestForEachNonZero(t *testing.T) {
+	z, _ := New(3)
+	z.ForEachNonZero(func(i, j int, v int64) {
+		t.Errorf("zero matrix visited (%d,%d)=%d", i, j, v)
+	})
+	if cells := z.AppendNonZeros(nil); len(cells) != 0 {
+		t.Errorf("zero matrix yielded %d cells", len(cells))
+	}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		m := randomMatrix(rng, n, 500, 0.4)
+
+		var cells []Cell
+		m.ForEachNonZero(func(i, j int, v int64) {
+			cells = append(cells, Cell{I: i, J: j, V: v})
+		})
+		if len(cells) != m.NonZeros() {
+			return false
+		}
+		var total int64
+		for u, c := range cells {
+			if c.V <= 0 || m.At(c.I, c.J) != c.V {
+				return false
+			}
+			if u > 0 { // row-major order, strictly increasing
+				p := cells[u-1]
+				if p.I*n+p.J >= c.I*n+c.J {
+					return false
+				}
+			}
+			total += c.V
+		}
+		if total != m.Total() {
+			return false
+		}
+		// AppendNonZeros reuses the buffer and matches the callback walk.
+		buf := make([]Cell, 2, 8)
+		got := m.AppendNonZeros(buf[:0])
+		if len(got) != len(cells) {
+			return false
+		}
+		for u := range got {
+			if got[u] != cells[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -99,12 +99,9 @@ var DefBuckets = []float64{
 }
 
 // TickBuckets are histogram bounds for simulated-time quantities (CCTs,
-// establishment durations), spanning one reconfiguration delay to a very
-// long run.
-var TickBuckets = []float64{
-	1e2, 2.5e2, 5e2, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4,
-	1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7, 1e8,
-}
+// establishment durations), spanning one reconfiguration delay (1e2 ticks)
+// to a very long run (~1e8 ticks) at constant ×2 relative resolution.
+var TickBuckets = LogBuckets(1e2, 2, 21)
 
 // LogBuckets returns n exponentially spaced histogram bucket upper bounds
 // starting at min, each factor times the previous: min, min·factor,

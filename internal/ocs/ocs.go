@@ -107,10 +107,13 @@ func maxRemaining(rem *matrix.Matrix, perm []int) int64 {
 
 // drainWindow transmits every active circuit of perm from startOf(i, j) until
 // windowEnd at bandwidth bw units per tick, decrementing rem and appending one
-// flow interval (coflow 0) per circuit that moved data. It is the single
-// drain loop behind every executor in this package; bw = 1 reproduces the
-// paper's unit-bandwidth semantics exactly.
-func drainWindow(rem *matrix.Matrix, perm []int, startOf func(i, j int) int64, windowEnd, bw int64, flows *schedule.FlowSchedule) {
+// flow interval (coflow 0) per circuit that moved data. It returns the total
+// demand moved, so executors can keep a running unserved total instead of
+// rescanning the dense residual for completeness. It is the single drain loop
+// behind every executor in this package; bw = 1 reproduces the paper's
+// unit-bandwidth semantics exactly.
+func drainWindow(rem *matrix.Matrix, perm []int, startOf func(i, j int) int64, windowEnd, bw int64, flows *schedule.FlowSchedule) int64 {
+	var sent int64
 	for i, j := range perm {
 		if j == -1 {
 			continue
@@ -129,11 +132,13 @@ func drainWindow(rem *matrix.Matrix, perm []int, startOf func(i, j int) int64, w
 			send = r
 		}
 		rem.Set(i, j, r-send)
+		sent += send
 		res := schedule.FlowInterval{
 			Start: start, End: start + ceilDiv(send, bw), In: i, Out: j, Coflow: 0,
 		}
 		*flows = append(*flows, res)
 	}
+	return sent
 }
 
 // ceilDiv returns ⌈a/b⌉ for non-negative a and positive b.
@@ -173,6 +178,7 @@ func ExecAllStopRate(d *matrix.Matrix, cs CircuitSchedule, delta, bw int64) (Res
 		return Result{}, fmt.Errorf("%w: bandwidth %d", ErrInvalidAssignment, bw)
 	}
 	rem := d.Clone()
+	left := d.Total() // maintained incrementally; the dense residual is never rescanned
 	var res Result
 	var now int64
 	for _, a := range cs {
@@ -187,14 +193,17 @@ func ExecAllStopRate(d *matrix.Matrix, cs CircuitSchedule, delta, bw int64) (Res
 			active = t
 		}
 		start := func(int, int) int64 { return now }
-		drainWindow(rem, a.Perm, start, now+active, bw, &res.Flows)
+		left -= drainWindow(rem, a.Perm, start, now+active, bw, &res.Flows)
 		now += active
+		if left == 0 {
+			break // demand exhausted: trailing assignments would all be skipped
+		}
 	}
 	res.CCT = now
 	res.ConfTime = int64(res.Reconfigs) * delta
 	res.TransTime = res.CCT - res.ConfTime
-	if !rem.IsZero() {
-		return res, fmt.Errorf("%w: %d ticks left", ErrIncomplete, rem.Total())
+	if left != 0 {
+		return res, fmt.Errorf("%w: %d ticks left", ErrIncomplete, left)
 	}
 	return res, nil
 }
@@ -213,6 +222,7 @@ func ExecNotAllStop(d *matrix.Matrix, cs CircuitSchedule, delta int64) (Result, 
 		return Result{}, fmt.Errorf("%w: negative delta %d", ErrInvalidAssignment, delta)
 	}
 	rem := d.Clone()
+	left := d.Total()
 	var res Result
 	var now int64
 	prev := make([]int, n)
@@ -265,15 +275,18 @@ func ExecNotAllStop(d *matrix.Matrix, cs CircuitSchedule, delta int64) (Result, 
 		if maxFinish < windowEnd {
 			windowEnd = maxFinish
 		}
-		drainWindow(rem, a.Perm, startOf, windowEnd, 1, &res.Flows)
+		left -= drainWindow(rem, a.Perm, startOf, windowEnd, 1, &res.Flows)
 		now = windowEnd
 		copy(prev, a.Perm)
+		if left == 0 {
+			break
+		}
 	}
 	res.CCT = now
 	res.ConfTime = int64(res.Reconfigs) * delta
 	res.TransTime = res.CCT - res.ConfTime
-	if !rem.IsZero() {
-		return res, fmt.Errorf("%w: %d ticks left", ErrIncomplete, rem.Total())
+	if left != 0 {
+		return res, fmt.Errorf("%w: %d ticks left", ErrIncomplete, left)
 	}
 	return res, nil
 }
