@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-short bench-json verify results examples fmt fmt-check vet check clean loadtest-short loadtest fuzz-short
+.PHONY: all build test test-short race cover bench bench-short bench-json verify results examples fmt fmt-check vet lint check clean loadtest-short loadtest fuzz-short
 
 all: build test
 
 # The full verification gate: everything CI should hold a change to.
-check: build test race vet
+check: build test race vet lint
 
 build:
 	$(GO) build ./...
@@ -102,6 +102,16 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck when installed; a visible skip (not a failure) when absent, so
+# `make check` works on machines without it while CI with the tool installed
+# still gates on its findings.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 clean:
 	$(GO) clean ./...

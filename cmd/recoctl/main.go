@@ -3,6 +3,7 @@
 //
 //	recoctl -server http://127.0.0.1:8372 health
 //	recoctl single -demand demand.json -delta 100
+//	recoctl single -demand demand.json -alg hybrid-fluid -elec-frac 0.2
 //	recoctl multi  -demands demands.json -delta 100 -c 4
 //	recoctl workload -n 40 -coflows 20 -seed 1 > demands.json
 //	recoctl job submit -kind single -demand demand.json -delta 100 -wait
@@ -84,11 +85,13 @@ func runSingle(ctx context.Context, client *api.Client, args []string, stdin io.
 	fs := flag.NewFlagSet("single", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	demandPath := fs.String("demand", "-", "path to the demand matrix JSON ('-' for stdin)")
+	alg := fs.String("alg", "", "algorithm name (empty: the server's single-coflow default)")
 	delta := fs.Int64("delta", 100, "reconfiguration delay in ticks")
 	deadlineMS := fs.Int64("deadline-ms", 0, "request SLA in milliseconds (0 = none); the server answers 504 past it")
 	weight := fs.Float64("weight", 0, "admission weight (0 = default 1); heavier requests are shed last under overload")
 	cores := fs.Int("cores", 0, "K-core fabric width (0 or 1 = single switch; K > 1 needs a cores-capable algorithm)")
 	k := fs.Int("k", 0, "BvN term bound per coflow (0 = algorithm default; > 0 needs a sparse-capable algorithm)")
+	elecFrac := fs.Float64("elec-frac", 0, "electrical fabric rate as a fraction of one circuit lane (0 = algorithm default; > 0 needs a hybrid-capable algorithm)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,7 +100,7 @@ func runSingle(ctx context.Context, client *api.Client, args []string, stdin io.
 		return err
 	}
 	resp, err := client.ScheduleSingle(ctx, api.SingleRequest{
-		Demand: demand, Delta: *delta, DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores, K: *k,
+		Demand: demand, Delta: *delta, Algorithm: *alg, DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores, K: *k, ElecFrac: *elecFrac,
 	})
 	if err != nil {
 		return err
@@ -109,12 +112,14 @@ func runMulti(ctx context.Context, client *api.Client, args []string, stdin io.R
 	fs := flag.NewFlagSet("multi", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	demandsPath := fs.String("demands", "-", "path to the demand matrices JSON ('-' for stdin)")
+	alg := fs.String("alg", "", "algorithm name (empty: the server's multi-coflow default)")
 	delta := fs.Int64("delta", 100, "reconfiguration delay in ticks")
 	c := fs.Int64("c", 4, "optical transmission threshold")
 	deadlineMS := fs.Int64("deadline-ms", 0, "request SLA in milliseconds (0 = none); the server answers 504 past it")
 	weight := fs.Float64("weight", 0, "admission weight (0 = default 1); heavier requests are shed last under overload")
 	cores := fs.Int("cores", 0, "K-core fabric width (0 or 1 = single switch; K > 1 needs a cores-capable algorithm)")
 	k := fs.Int("k", 0, "BvN term bound per coflow (0 = algorithm default; > 0 needs a sparse-capable algorithm)")
+	elecFrac := fs.Float64("elec-frac", 0, "electrical fabric rate as a fraction of one circuit lane (0 = algorithm default; > 0 needs a hybrid-capable algorithm)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,7 +128,7 @@ func runMulti(ctx context.Context, client *api.Client, args []string, stdin io.R
 		return err
 	}
 	resp, err := client.ScheduleMulti(ctx, api.MultiRequest{
-		Demands: demands, Delta: *delta, C: *c, DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores, K: *k,
+		Demands: demands, Delta: *delta, C: *c, Algorithm: *alg, DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores, K: *k, ElecFrac: *elecFrac,
 	})
 	if err != nil {
 		return err
@@ -194,6 +199,7 @@ func runJobSubmit(ctx context.Context, client *api.Client, args []string, stdin 
 	weight := fs.Float64("weight", 0, "admission weight (0 = default 1); heavier jobs are shed last under overload")
 	cores := fs.Int("cores", 0, "K-core fabric width (0 or 1 = single switch; K > 1 needs a cores-capable algorithm)")
 	k := fs.Int("k", 0, "BvN term bound per coflow (0 = algorithm default; > 0 needs a sparse-capable algorithm)")
+	elecFrac := fs.Float64("elec-frac", 0, "electrical fabric rate as a fraction of one circuit lane (0 = algorithm default; > 0 needs a hybrid-capable algorithm)")
 	wait := fs.Bool("wait", false, "poll until the job finishes and print the final state")
 	poll := fs.Duration("poll", 100*time.Millisecond, "polling interval with -wait")
 	if err := fs.Parse(args); err != nil {
@@ -208,7 +214,7 @@ func runJobSubmit(ctx context.Context, client *api.Client, args []string, stdin 
 		}
 		req.Single = &api.SingleRequest{
 			Demand: demand, Delta: *delta, Algorithm: *alg,
-			DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores, K: *k,
+			DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores, K: *k, ElecFrac: *elecFrac,
 		}
 	case "multi":
 		demands, err := readDemands(*demandsPath, stdin)
@@ -217,7 +223,7 @@ func runJobSubmit(ctx context.Context, client *api.Client, args []string, stdin 
 		}
 		req.Multi = &api.MultiRequest{
 			Demands: demands, Delta: *delta, C: *c, Algorithm: *alg,
-			DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores, K: *k,
+			DeadlineMS: *deadlineMS, Weight: *weight, Cores: *cores, K: *k, ElecFrac: *elecFrac,
 		}
 	default:
 		return fmt.Errorf("unknown job kind %q", *kind)

@@ -9,6 +9,7 @@
 //	eclipse          Eclipse-style greedy throughput-per-cost circuit schedule per coflow
 //	helios           Helios/c-Through slotted max-weight matching (slot = 4*delta) per coflow
 //	hybrid           hybrid switch: elephants (>= c*delta) via Reco-Sin on the OCS, mice via a 10x-slower packet network
+//	hybrid-fluid     rate-based hybrid switch: balance-swept cutoff, joint electrical/optical fluid service (default electrical fraction 0.1)
 //	kcore            O(K)-approximation K-core scheduler: SEBF coflow order, greedy demand split across -cores switching cores, Reco-Sin per core share
 //	lp-ii-gb         LP-II-GB baseline: interval-indexed LP estimate order, first-fit BvN per coflow
 //	lp-ii-gb-group   grouped LP-II-GB: coflows sharing an LP interval merged into one aggregate BvN schedule
@@ -39,6 +40,16 @@
 // reconfigurations (see docs/PERF.md and results/frontier.csv). Only
 // algorithms advertising the sparse capability accept -k > 0.
 //
+// With -elec-frac f (0 < f ≤ 1) hybrid algorithms run their electrical
+// fabric at fraction f of an optical circuit lane per port (see
+// docs/HYBRID.md); 0 keeps the algorithm's default. Only algorithms
+// advertising the hybrid capability accept -elec-frac > 0.
+//
+// With -metrics-out FILE the attached metrics registry is pushed to FILE
+// as one compact JSON snapshot line every -metrics-interval (default 1s),
+// plus a final snapshot on exit — long runs can be monitored with
+// `tail -f FILE` without an HTTP endpoint to scrape.
+//
 // Scheduling honors Ctrl-C: cancelling the run aborts in-flight LP solves
 // and BvN decompositions.
 //
@@ -59,6 +70,7 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"reco/internal/algo"
 	_ "reco/internal/algo/builtin"
@@ -90,12 +102,16 @@ func run() int {
 		c          = flag.Int64("c", 4, "optical transmission threshold")
 		cores      = flag.Int("cores", 1, "parallel switching cores K (K > 1 needs an algorithm with the cores capability)")
 		kTerms     = flag.Int("k", 0, "BvN term bound per coflow (0 = algorithm default; > 0 needs the sparse capability)")
+		elecFrac   = flag.Float64("elec-frac", 0, "electrical fabric rate as a fraction of one circuit lane (0 = algorithm default; > 0 needs the hybrid capability)")
 		rescale    = flag.Int("rescale", 0, "fold the workload onto this many ports (0: keep)")
 		perCoflow  = flag.Bool("percoflow", false, "print each coflow's CCT")
 		showGantt  = flag.Bool("gantt", false, "render the schedule as an ASCII Gantt chart")
 		ganttWidth = flag.Int("ganttwidth", 100, "gantt chart width in columns")
 
 		tracefile = flag.String("tracefile", "", "write a Chrome trace-event JSON of the run (load in chrome://tracing or ui.perfetto.dev)")
+
+		metricsOut      = flag.String("metrics-out", "", "push metrics registry snapshots to this file, one JSON line per flush")
+		metricsInterval = flag.Duration("metrics-interval", time.Second, "with -metrics-out: flush period (<= 0: final snapshot only)")
 
 		withFaults = flag.Bool("faults", false, "run each coflow's Reco-Sin schedule under injected faults (replay vs recover)")
 		pfail      = flag.Float64("pfail", 0.10, "with -faults: per-port failure probability inside the nominal run")
@@ -119,6 +135,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
 		return 1
 	}
+	if err := validateElecFrac(*elecFrac, *withFaults); err != nil {
+		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
+		return 1
+	}
 
 	// Ctrl-C / SIGTERM cancels the scheduling context: in-flight LP solves
 	// and BvN decompositions poll it and abort promptly.
@@ -134,6 +154,26 @@ func run() int {
 		tracer = obs.NewTracerCap(*traceCap)
 		obs.Attach(&obs.Sink{Metrics: obs.NewRegistry(), Trace: tracer})
 		defer obs.Detach()
+	}
+
+	// With -metrics-out, the attached registry is pushed to a file as one
+	// JSON snapshot line per -metrics-interval. Without -tracefile there is
+	// no sink yet, so a metrics-only sink is attached here. Defers unwind in
+	// LIFO order: stop (final flush) runs before the file closes, and both
+	// before the sink detaches.
+	if *metricsOut != "" {
+		if obs.Current() == nil {
+			obs.Attach(&obs.Sink{Metrics: obs.NewRegistry()})
+			defer obs.Detach()
+		}
+		mf, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recosim: metrics-out: %v\n", err)
+			return 1
+		}
+		defer mf.Close()
+		stop := obs.FlushEvery(mf, *metricsInterval)
+		defer stop()
 	}
 
 	coflows, err := loadWorkload(*trace, *n, *numCf, *seed, *c**delta)
@@ -183,7 +223,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
 		return 1
 	}
-	res, err := sched.Schedule(ctx, algo.Request{Demands: ds, Weights: w, Delta: *delta, C: *c, Cores: *cores, K: *kTerms})
+	if err := checkHybridCap(*alg, sched.Caps(), *elecFrac); err != nil {
+		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
+		return 1
+	}
+	res, err := sched.Schedule(ctx, algo.Request{Demands: ds, Weights: w, Delta: *delta, C: *c, Cores: *cores, K: *kTerms, ElecFrac: *elecFrac})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "recosim: %v\n", err)
 		return 1
@@ -215,6 +259,9 @@ func run() int {
 	}
 	if *kTerms > 0 {
 		fmt.Printf("k              %d terms\n", *kTerms)
+	}
+	if *elecFrac > 0 {
+		fmt.Printf("elec-frac      %g\n", *elecFrac)
 	}
 	fmt.Printf("reconfigs      %d\n", reconfigs)
 	fmt.Printf("avg CCT        %.0f ticks\n", mean)
@@ -300,6 +347,28 @@ func checkSparseCap(alg string, caps algo.Capabilities, k int) error {
 	return nil
 }
 
+// validateElecFrac rejects malformed -elec-frac values before any scheduling
+// work: the electrical fabric rate is a fraction of one circuit lane, and the
+// fault simulator models the all-optical switch only.
+func validateElecFrac(frac float64, faulted bool) error {
+	if frac < 0 || frac > 1 {
+		return fmt.Errorf("-elec-frac %v: electrical fraction must be in [0, 1]", frac)
+	}
+	if frac > 0 && faulted {
+		return fmt.Errorf("-faults runs the all-optical fault simulator; -elec-frac must be 0")
+	}
+	return nil
+}
+
+// checkHybridCap rejects -elec-frac > 0 for algorithms without an electrical
+// fabric, which would silently ignore the knob.
+func checkHybridCap(alg string, caps algo.Capabilities, frac float64) error {
+	if frac > 0 && !caps.Hybrid {
+		return fmt.Errorf("-elec-frac %v: algorithm %s ignores the electrical fraction (no hybrid capability)", frac, alg)
+	}
+	return nil
+}
+
 // capTags renders capability flags compactly, e.g.
 // "[single multi flows]" or "[single not-all-stop]".
 func capTags(c algo.Capabilities) string {
@@ -321,6 +390,9 @@ func capTags(c algo.Capabilities) string {
 	}
 	if c.Sparse {
 		tags = append(tags, "sparse")
+	}
+	if c.Hybrid {
+		tags = append(tags, "hybrid")
 	}
 	return "[" + strings.Join(tags, " ") + "]"
 }

@@ -137,6 +137,36 @@ func TestKValidation(t *testing.T) {
 	}
 }
 
+// TestElecFracValidation: -elec-frac outside [0, 1] and -elec-frac with
+// -faults are rejected with clear errors, and a positive fraction requires
+// the hybrid capability.
+func TestElecFracValidation(t *testing.T) {
+	if err := validateElecFrac(-0.1, false); err == nil {
+		t.Error("-elec-frac -0.1 accepted")
+	}
+	if err := validateElecFrac(1.5, false); err == nil {
+		t.Error("-elec-frac 1.5 accepted")
+	}
+	if err := validateElecFrac(0.2, true); err == nil {
+		t.Error("-elec-frac 0.2 with -faults accepted")
+	}
+	if err := validateElecFrac(0, true); err != nil {
+		t.Errorf("-elec-frac 0 with -faults rejected: %v", err)
+	}
+	if err := validateElecFrac(0.5, false); err != nil {
+		t.Errorf("-elec-frac 0.5 rejected: %v", err)
+	}
+	if err := checkHybridCap("reco-sin", algo.Capabilities{}, 0.2); err == nil {
+		t.Error("-elec-frac 0.2 accepted for an all-optical algorithm")
+	}
+	if err := checkHybridCap("hybrid-fluid", algo.Capabilities{Hybrid: true}, 0.2); err != nil {
+		t.Errorf("-elec-frac 0.2 rejected for a hybrid-capable algorithm: %v", err)
+	}
+	if err := checkHybridCap("reco-sin", algo.Capabilities{}, 0); err != nil {
+		t.Errorf("-elec-frac 0 rejected for an all-optical algorithm: %v", err)
+	}
+}
+
 // TestListAlgorithmsOutput: `-alg list` prints one line per registered
 // scheduler, leading with its name.
 func TestListAlgorithmsOutput(t *testing.T) {

@@ -73,6 +73,11 @@ const (
 	// Request.K max–min BvN terms plus full-drain cleanup establishments
 	// covering the residual.
 	NameRecoSparse = "reco-sparse"
+	// NameHybridFluid is the rate-based hybrid circuit/packet scheduler: a
+	// joint fluid assignment of every (src, dst) demand to an optical
+	// circuit share plus a time-varying electrical rate, the electrical
+	// fabric running at the Request.ElecFrac fraction of a circuit lane.
+	NameHybridFluid = "hybrid-fluid"
 )
 
 // Capabilities describes what a Scheduler supports, for dispatchers that
@@ -100,6 +105,11 @@ type Capabilities struct {
 	// permutation terms. Dispatchers must reject K > 0 for algorithms
 	// without it, which would silently ignore the knob.
 	Sparse bool
+	// Hybrid: the algorithm honors Request.ElecFrac, the electrical
+	// bandwidth fraction of a hybrid circuit/packet fabric. Dispatchers
+	// must reject ElecFrac > 0 for algorithms without it, which would
+	// silently ignore the knob.
+	Hybrid bool
 }
 
 // Request is the unified scheduling input: a coflow set with optional
@@ -124,6 +134,10 @@ type Request struct {
 	// sparsity-bounded schedulers (reco-sparse); 0 means the algorithm's
 	// default. Only algorithms whose Capabilities.Sparse is set honor it.
 	K int
+	// ElecFrac is the electrical fabric's per-port bandwidth as a fraction
+	// of one optical circuit lane, in [0, 1]; 0 means the algorithm's
+	// default. Only algorithms whose Capabilities.Hybrid is set honor it.
+	ElecFrac float64
 }
 
 // Result is the unified scheduling output.
@@ -182,6 +196,9 @@ func ValidateRequest(req Request) error {
 	}
 	if req.K < 0 {
 		return fmt.Errorf("%w: negative term bound %d", ErrBadRequest, req.K)
+	}
+	if req.ElecFrac < 0 || req.ElecFrac > 1 {
+		return fmt.Errorf("%w: electrical fraction %v outside [0, 1]", ErrBadRequest, req.ElecFrac)
 	}
 	return nil
 }

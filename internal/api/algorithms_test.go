@@ -199,3 +199,56 @@ func TestScheduleMultiCoresField(t *testing.T) {
 		}
 	}
 }
+
+// TestScheduleSingleElecFracField: the elec_frac knob reaches the
+// hybrid-fluid scheduler — 0 means the documented default, so it matches an
+// explicit 0.1 — and is capability-gated: a positive fraction on an
+// algorithm without the hybrid capability, or a fraction outside [0, 1], is
+// a 400, not a silently ignored knob.
+func TestScheduleSingleElecFracField(t *testing.T) {
+	srv, client := newTestServer(t)
+	defer srv.Close()
+	demand := [][]int64{
+		{900, 12, 0},
+		{0, 850, 9},
+		{14, 0, 700},
+	}
+
+	def, err := client.ScheduleSingle(context.Background(),
+		SingleRequest{Demand: demand, Delta: 100, Algorithm: algo.NameHybridFluid})
+	if err != nil {
+		t.Fatalf("hybrid-fluid default: %v", err)
+	}
+	explicit, err := client.ScheduleSingle(context.Background(),
+		SingleRequest{Demand: demand, Delta: 100, Algorithm: algo.NameHybridFluid, ElecFrac: 0.1})
+	if err != nil {
+		t.Fatalf("hybrid-fluid elec_frac=0.1: %v", err)
+	}
+	if !reflect.DeepEqual(def, explicit) {
+		t.Error("elec_frac 0 (default) and 0.1 disagree")
+	}
+	half, err := client.ScheduleSingle(context.Background(),
+		SingleRequest{Demand: demand, Delta: 100, Algorithm: algo.NameHybridFluid, ElecFrac: 0.5})
+	if err != nil {
+		t.Fatalf("hybrid-fluid elec_frac=0.5: %v", err)
+	}
+	if half.CCT <= 0 {
+		t.Fatalf("elec_frac=0.5 returned CCT %d", half.CCT)
+	}
+
+	for _, bad := range []SingleRequest{
+		{Demand: demand, Delta: 100, Algorithm: algo.NameRecoSin, ElecFrac: 0.2},
+		{Demand: demand, Delta: 100, Algorithm: algo.NameHybridFluid, ElecFrac: -0.1},
+		{Demand: demand, Delta: 100, Algorithm: algo.NameHybridFluid, ElecFrac: 1.7},
+	} {
+		body, _ := json.Marshal(bad)
+		resp, err := http.Post(srv.URL+"/v1/schedule/single", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("elec_frac=%v on %s: status = %d, want 400", bad.ElecFrac, bad.Algorithm, resp.StatusCode)
+		}
+	}
+}

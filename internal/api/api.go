@@ -120,6 +120,10 @@ func (s *Server) schedule(ctx context.Context, name string, req algo.Request) (*
 		return nil, fmt.Errorf("%w: k %d: algorithm %s ignores the term bound (no sparse capability)",
 			algo.ErrBadRequest, req.K, name)
 	}
+	if req.ElecFrac > 0 && !sched.Caps().Hybrid {
+		return nil, fmt.Errorf("%w: elec_frac %v: algorithm %s ignores the electrical fraction (no hybrid capability)",
+			algo.ErrBadRequest, req.ElecFrac, name)
+	}
 	if s.group == nil {
 		return sched.Schedule(ctx, req)
 	}
@@ -156,6 +160,11 @@ type SingleRequest struct {
 	// (reco-sparse). Zero means the algorithm's default; K > 0 needs an
 	// algorithm whose capabilities include sparse.
 	K int `json:"k,omitempty"`
+	// ElecFrac is the electrical bandwidth fraction for hybrid schedulers
+	// (docs/HYBRID.md), in [0, 1]. Zero means the algorithm's default;
+	// a positive value needs an algorithm whose capabilities include
+	// hybrid.
+	ElecFrac float64 `json:"elec_frac,omitempty"`
 }
 
 // toAlgo validates the request into the registry shape.
@@ -168,7 +177,7 @@ func (r SingleRequest) toAlgo() (string, algo.Request, error) {
 	if name == "" {
 		name = algo.NameRecoSin
 	}
-	return name, algo.Request{Demands: []*matrix.Matrix{d}, Delta: r.Delta, C: defaultC, Cores: r.Cores, K: r.K}, nil
+	return name, algo.Request{Demands: []*matrix.Matrix{d}, Delta: r.Delta, C: defaultC, Cores: r.Cores, K: r.K, ElecFrac: r.ElecFrac}, nil
 }
 
 // Assignment mirrors ocs.Assignment for the wire.
@@ -224,6 +233,9 @@ type MultiRequest struct {
 	Cores int `json:"cores,omitempty"`
 	// K is the BvN term bound; see SingleRequest.K.
 	K int `json:"k,omitempty"`
+	// ElecFrac is the electrical bandwidth fraction; see
+	// SingleRequest.ElecFrac.
+	ElecFrac float64 `json:"elec_frac,omitempty"`
 }
 
 // toAlgo validates the request into the registry shape.
@@ -243,7 +255,7 @@ func (r MultiRequest) toAlgo() (string, algo.Request, error) {
 	if name == "" {
 		name = algo.NameRecoMul
 	}
-	return name, algo.Request{Demands: ds, Weights: r.Weights, Delta: r.Delta, C: r.C, Cores: r.Cores, K: r.K}, nil
+	return name, algo.Request{Demands: ds, Weights: r.Weights, Delta: r.Delta, C: r.C, Cores: r.Cores, K: r.K, ElecFrac: r.ElecFrac}, nil
 }
 
 // Flow mirrors schedule.FlowInterval for the wire.
@@ -300,6 +312,7 @@ type Capabilities struct {
 	FlowLevel    bool `json:"flowLevel"`
 	Cores        bool `json:"cores"`
 	Sparse       bool `json:"sparse"`
+	Hybrid       bool `json:"hybrid"`
 }
 
 // AlgorithmsResponse lists the scheduler registry in deterministic order.
@@ -402,6 +415,7 @@ func handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 				FlowLevel:    c.FlowLevel,
 				Cores:        c.Cores,
 				Sparse:       c.Sparse,
+				Hybrid:       c.Hybrid,
 			},
 		})
 	}

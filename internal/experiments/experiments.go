@@ -237,11 +237,12 @@ func registry() map[string]Runner {
 		"ext-nas":        ExtNAS,
 		"ext-full":       ExtFull,
 		// Registered but not in Order(): regenerate results/admission.csv,
-		// results/kcore.csv and results/frontier.csv explicitly with
-		// `recobench -exp <id> -outdir results`.
+		// results/kcore.csv, results/frontier.csv and results/hybrid.csv
+		// explicitly with `recobench -exp <id> -outdir results`.
 		"admission": Admission,
 		"kcore":     KCore,
 		"frontier":  Frontier,
+		"hybrid":    Hybrid,
 	}
 }
 

@@ -52,12 +52,12 @@ func TestRegistryCoversOrder(t *testing.T) {
 			t.Errorf("Order lists %q but Registry lacks it", id)
 		}
 	}
-	// ext-full, admission, kcore and frontier are registered but deliberately
-	// not in Order (the opt-in full-workload run, and the opt-in admission,
-	// K-core and sparse-frontier sweeps that would otherwise change
-	// results/all.txt).
-	if len(reg) != len(Order())+4 {
-		t.Errorf("Registry has %d entries, Order %d (+4 expected)", len(reg), len(Order()))
+	// ext-full, admission, kcore, frontier and hybrid are registered but
+	// deliberately not in Order (the opt-in full-workload run, and the
+	// opt-in admission, K-core, sparse-frontier and hybrid-fluid sweeps
+	// that would otherwise change results/all.txt).
+	if len(reg) != len(Order())+5 {
+		t.Errorf("Registry has %d entries, Order %d (+5 expected)", len(reg), len(Order()))
 	}
 }
 

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallHybridConfig keeps the hybrid experiment fast in tests while leaving
+// every fraction with real mice to carry.
+func smallHybridConfig() Config {
+	return Config{Seed: 1, SingleN: 16, SingleCoflows: 24}
+}
+
+// TestHybridShape checks the qualitative claim results/hybrid.csv publishes:
+// the rate-based joint fluid model beats the static elephant/mice split on
+// mean CCT at every swept electrical fraction and threshold — idle
+// electrical capacity spent on optical residuals is free progress. The run
+// is deterministic, so the assertion is strict row by row.
+func TestHybridShape(t *testing.T) {
+	tbl, err := Hybrid(smallHybridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(hybridFracs) * len(hybridThresholdDeltas)
+	if len(tbl.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d (fractions x thresholds)", len(tbl.Rows), wantRows)
+	}
+	ocsOnly := tbl.Rows[0].Cells[3]
+	if ocsOnly <= 0 {
+		t.Fatalf("ocs-only baseline %v not positive", ocsOnly)
+	}
+	for _, r := range tbl.Rows {
+		static, fluid, ratio := r.Cells[0], r.Cells[1], r.Cells[2]
+		if fluid >= static {
+			t.Errorf("%s: fluid mean CCT %.1f does not beat static %.1f", r.Label, fluid, static)
+		}
+		if got := fluid / static; got != ratio {
+			t.Errorf("%s: ratio column %v inconsistent with fluid/static %v", r.Label, ratio, got)
+		}
+		if r.Cells[3] != ocsOnly {
+			t.Errorf("%s: ocs-only baseline %v varies across rows (threshold-independent by construction)",
+				r.Label, r.Cells[3])
+		}
+		if !strings.Contains(r.Label, "f=") || !strings.Contains(r.Label, "/thr=") {
+			t.Errorf("row label %q missing the f=/thr= sweep markers", r.Label)
+		}
+	}
+}
+
+// TestHybridDeterministicAcrossWorkers: the table is identical at any
+// worker count (docs/PARALLEL.md).
+func TestHybridDeterministicAcrossWorkers(t *testing.T) {
+	cfg := smallHybridConfig()
+	cfg.Workers = 1
+	a, err := Hybrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 7
+	b, err := Hybrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CSV() != b.CSV() {
+		t.Fatalf("hybrid table varies with worker count:\n%s\nvs\n%s", a.CSV(), b.CSV())
+	}
+}
+
+// TestHybridRegisteredNotOrdered: hybrid is reachable by id but stays out of
+// Order(), keeping `recobench -exp all` (and results/all.txt) unchanged.
+func TestHybridRegisteredNotOrdered(t *testing.T) {
+	if _, ok := Registry()["hybrid"]; !ok {
+		t.Fatal("hybrid missing from Registry()")
+	}
+	for _, id := range Order() {
+		if id == "hybrid" {
+			t.Fatal("hybrid must not join Order(): results/all.txt would change")
+		}
+	}
+}

@@ -35,6 +35,7 @@ const (
 	saltAdmission
 	saltKCore
 	saltFrontier
+	saltHybrid
 )
 
 func className(cl workload.Class) string {

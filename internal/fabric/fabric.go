@@ -1,0 +1,280 @@
+// Package fabric abstracts the transmission substrates a coflow's demand
+// can drain through: a Fabric has a port count, a capacity, and windowed
+// Transmit semantics — given a residual demand matrix and a time window,
+// it moves as much demand as its capacity model allows and reports the
+// amount sent. Two fabrics cover every execution path in this repository:
+//
+//   - Circuit: an N×N optical circuit switch carrying one established
+//     (partial) matching at bw demand units per tick per circuit. Its
+//     Transmit is the single drain loop behind ocs.ExecAllStop /
+//     ExecAllStopRate / ExecNotAllStop, the per-core executor of ocs.ExecK,
+//     and sim.RunFaults (which adds a live port-down mask).
+//   - Electrical: an always-on packet fabric serving the whole matrix
+//     fluidly, every flow sharing its ports fractionally (the MADD/Varys
+//     allocation) at a rational fraction num/den of a circuit lane's rate.
+//     packet.FluidCCTs is Electrical at num = den = 1; the rate-based
+//     hybrid model (internal/hybrid.ScheduleFluid) runs an Electrical
+//     fabric alongside a Circuit fabric on one clock.
+//
+// The arithmetic here is deliberately byte-identical to the loops it
+// replaced: every executor refactored onto this package is locked by
+// differential tests against the committed results/ CSVs.
+package fabric
+
+import (
+	"fmt"
+	"math/bits"
+
+	"reco/internal/matrix"
+	"reco/internal/schedule"
+)
+
+// Fabric is a transmission substrate: Transmit drains residual demand over
+// the window [start, end) under the fabric's capacity model, appending any
+// flow-level intervals it can attribute (fluid fabrics attribute none) and
+// returning the total demand moved.
+type Fabric interface {
+	// Ports is the fabric's port count per side.
+	Ports() int
+	// Transmit drains rem over [start, end), appends attributable flow
+	// intervals (coflow 0) to flows when non-nil, and returns the demand
+	// moved. It never leaves a negative residual.
+	Transmit(rem *matrix.Matrix, start, end int64, flows *schedule.FlowSchedule) int64
+}
+
+// Circuit is an optical circuit fabric: it carries the currently
+// established partial matching, each circuit moving bw demand units per
+// tick, and stops a circuit as soon as its pair's demand is drained (the
+// paper's Fig. 2 early-stop semantics). Ports marked down carry nothing.
+type Circuit struct {
+	n       int
+	bw      int64
+	perm    []int
+	startOf func(i, j int) int64
+	down    []bool
+}
+
+// NewCircuit returns an n-port circuit fabric whose circuits move bw
+// demand units per tick. bw = 1 is the paper's unit-bandwidth switch.
+func NewCircuit(n int, bw int64) *Circuit {
+	return &Circuit{n: n, bw: bw}
+}
+
+// Ports implements Fabric.
+func (c *Circuit) Ports() int { return c.n }
+
+// Establish installs perm (Perm[i] = egress for ingress i, -1 idle) as the
+// current matching; every circuit transmits from the start of the next
+// Transmit window. The caller validates perm (ocs.Assignment.Validate).
+func (c *Circuit) Establish(perm []int) {
+	c.perm = perm
+	c.startOf = nil
+}
+
+// EstablishStaggered installs perm with a per-circuit ready time: circuit
+// (i, j) begins transmitting at startOf(i, j) rather than at the window
+// start. This is the not-all-stop model's carry-over semantics, where
+// unchanged circuits keep transmitting through a reconfiguration.
+func (c *Circuit) EstablishStaggered(perm []int, startOf func(i, j int) int64) {
+	c.perm = perm
+	c.startOf = startOf
+}
+
+// SetPortsDown installs a live port-fault mask: circuits touching a down
+// port carry nothing and do not extend windows. The slice is aliased, so a
+// simulator can mutate it between windows; nil means all ports up.
+func (c *Circuit) SetPortsDown(down []bool) { c.down = down }
+
+// MaxRemaining returns the longest remaining demand among the established
+// circuits whose ports are up — the establishment's natural drain time in
+// units of bw·ticks.
+func (c *Circuit) MaxRemaining(rem *matrix.Matrix) int64 {
+	var max int64
+	for i, j := range c.perm {
+		if j == -1 {
+			continue
+		}
+		if c.down != nil && (c.down[i] || c.down[j]) {
+			continue
+		}
+		if r := rem.At(i, j); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// Transmit implements Fabric: every live established circuit drains its
+// pair from max(start, its ready time) until end at bw units per tick,
+// decrementing rem and appending one flow interval per circuit that moved
+// data. Flow intervals are rounded up to whole ticks (⌈send/bw⌉).
+func (c *Circuit) Transmit(rem *matrix.Matrix, start, end int64, flows *schedule.FlowSchedule) int64 {
+	var sent int64
+	for i, j := range c.perm {
+		if j == -1 {
+			continue
+		}
+		if c.down != nil && (c.down[i] || c.down[j]) {
+			continue
+		}
+		r := rem.At(i, j)
+		if r == 0 {
+			continue
+		}
+		from := start
+		if c.startOf != nil {
+			from = c.startOf(i, j)
+		}
+		span := end - from
+		if span <= 0 {
+			continue
+		}
+		send := span * c.bw
+		if r < send {
+			send = r
+		}
+		rem.Set(i, j, r-send)
+		sent += send
+		if flows != nil {
+			*flows = append(*flows, schedule.FlowInterval{
+				Start: from, End: from + CeilDiv(send, c.bw), In: i, Out: j, Coflow: 0,
+			})
+		}
+	}
+	return sent
+}
+
+// Electrical is an always-on packet fabric serving demand fluidly: within
+// any window every flow shares its ports fractionally so the whole matrix
+// drains in exactly its bottleneck time ρ scaled by the fabric's rate — a
+// rational num/den fraction of a circuit lane's unit rate. There is no
+// reconfiguration cost and no flow-level schedule (the model is fluid).
+type Electrical struct {
+	n        int
+	num, den int64
+}
+
+// NewElectrical returns an n-port electrical fabric running at num/den of
+// the unit circuit rate. num = den = 1 is the ideal packet switch of
+// packet.FluidCCTs; num = 0 is a dark fabric that carries nothing.
+func NewElectrical(n int, num, den int64) (*Electrical, error) {
+	if n <= 0 || num < 0 || den <= 0 {
+		return nil, fmt.Errorf("fabric: invalid electrical fabric n=%d rate=%d/%d", n, num, den)
+	}
+	return &Electrical{n: n, num: num, den: den}, nil
+}
+
+// Ports implements Fabric.
+func (e *Electrical) Ports() int { return e.n }
+
+// Rate returns the fabric's rate as the rational num/den.
+func (e *Electrical) Rate() (num, den int64) { return e.num, e.den }
+
+// DrainTime returns the ticks this fabric needs to drain rem completely:
+// ⌈ρ·den/num⌉ for bottleneck ρ = rem.MaxRowColSum(). A dark fabric
+// (num = 0) reports 0 for empty demand and -1 (never) otherwise.
+func (e *Electrical) DrainTime(rem *matrix.Matrix) int64 {
+	rho := rem.MaxRowColSum()
+	if rho == 0 {
+		return 0
+	}
+	if e.num == 0 {
+		return -1
+	}
+	t, ok := ceilMulDiv(rho, e.den, e.num)
+	if !ok {
+		return -1
+	}
+	return t
+}
+
+// Drain serves rem for w ticks: if w covers DrainTime the matrix empties;
+// otherwise every entry drains the same fluid fraction w/DrainTime (floored
+// per entry, so per-port totals never exceed w·num/den and no residual
+// goes negative). Returns the demand moved.
+func (e *Electrical) Drain(rem *matrix.Matrix, w int64) int64 {
+	if w <= 0 || e.num == 0 {
+		return 0
+	}
+	t := e.DrainTime(rem)
+	if t == 0 {
+		return 0
+	}
+	var sent int64
+	if t > 0 && w >= t {
+		rem.ForEachNonZero(func(i, j int, v int64) {
+			rem.Set(i, j, 0)
+			sent += v
+		})
+		return sent
+	}
+	rem.ForEachNonZero(func(i, j int, v int64) {
+		send, ok := mulDiv(v, w, t)
+		if !ok || send > v {
+			send = v
+		}
+		if send == 0 {
+			return
+		}
+		rem.Set(i, j, v-send)
+		sent += send
+	})
+	return sent
+}
+
+// Transmit implements Fabric as Drain over the window's length. The fluid
+// model attributes no flow intervals; flows is untouched.
+func (e *Electrical) Transmit(rem *matrix.Matrix, start, end int64, flows *schedule.FlowSchedule) int64 {
+	return e.Drain(rem, end-start)
+}
+
+// Permille quantizes a bandwidth fraction in [0, 1] to the rational
+// num/1000 the Electrical fabric runs at, rounding to nearest. Quantizing
+// keeps every downstream computation in exact integer arithmetic.
+func Permille(frac float64) (num, den int64) {
+	den = 1000
+	num = int64(frac*float64(den) + 0.5)
+	if num < 0 {
+		num = 0
+	}
+	if num > den {
+		num = den
+	}
+	return num, den
+}
+
+// CeilDiv returns ⌈a/b⌉ for non-negative a and positive b.
+func CeilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
+// mulDiv returns ⌊a·b/c⌋ for non-negative a, b and positive c through a
+// 128-bit intermediate, reporting ok = false when the quotient itself
+// overflows int64.
+func mulDiv(a, b, c int64) (int64, bool) {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if hi >= uint64(c) {
+		return 0, false // quotient would not fit in 64 bits
+	}
+	q, _ := bits.Div64(hi, lo, uint64(c))
+	if q > 1<<62 {
+		return 0, false
+	}
+	return int64(q), true
+}
+
+// ceilMulDiv is mulDiv rounding up instead of down.
+func ceilMulDiv(a, b, c int64) (int64, bool) {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if hi >= uint64(c) {
+		return 0, false
+	}
+	q, r := bits.Div64(hi, lo, uint64(c))
+	if r != 0 {
+		q++
+	}
+	if q > 1<<62 {
+		return 0, false
+	}
+	return int64(q), true
+}

@@ -5,6 +5,17 @@
 // by the OCS. Helios, c-Through and Solstice all operate this split; the
 // paper's assumption d ≥ c·δ is the statement that the threshold has been
 // set to c·δ.
+//
+// Split never partitions in place: it returns two freshly allocated
+// matrices and leaves the input demand untouched, so callers can split the
+// same coflow at several thresholds (the balance sweep does exactly that).
+//
+// Two service models share the split. Schedule is the classical static
+// hybrid: each half runs to completion on its own fabric (Reco-Sin on the
+// OCS, a slowed-down packet list schedule) with no interaction.
+// ScheduleFluid is the rate-based model (docs/HYBRID.md): both fabrics run
+// on one clock as fabric.Circuit + fabric.Electrical, and joint policies
+// let the electrical fabric spend idle capacity on optical residuals.
 package hybrid
 
 import (
@@ -47,9 +58,11 @@ type Result struct {
 	OCSDemand, PacketDemand int64
 }
 
-// Split partitions d at the threshold: the first return carries entries
-// ≥ threshold (elephants, for the OCS), the second the rest (mice, for the
-// packet switch).
+// Split partitions d at the threshold into two new matrices, leaving d
+// unmodified: the first return carries entries ≥ threshold (elephants, for
+// the OCS), the second the rest (mice, for the packet switch). At
+// threshold 0 nothing is a mouse — every positive entry is an elephant —
+// so the OCS carries the whole coflow.
 func Split(d *matrix.Matrix, threshold int64) (elephants, mice *matrix.Matrix) {
 	n := d.N()
 	elephants = d.Clone()

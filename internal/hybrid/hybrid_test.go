@@ -39,6 +39,32 @@ func TestSplit(t *testing.T) {
 	}
 }
 
+// TestSplitZeroThreshold locks the edge case the package comment promises:
+// at threshold 0 nothing is strictly below the cutoff, so the elephant half
+// is the whole coflow, the mice half is empty, and the input is untouched.
+func TestSplitZeroThreshold(t *testing.T) {
+	d := mustMatrix(t, [][]int64{
+		{500, 20},
+		{1, 0},
+	})
+	orig := d.Clone()
+	elephants, mice := Split(d, 0)
+	if !elephants.Equal(d) {
+		t.Errorf("threshold 0 elephants differ from demand:\n%v", elephants)
+	}
+	if !mice.IsZero() {
+		t.Errorf("threshold 0 produced mice:\n%v", mice)
+	}
+	if !d.Equal(orig) {
+		t.Error("Split mutated its input")
+	}
+	// The returns are clones, not aliases.
+	elephants.Set(0, 0, 7)
+	if d.At(0, 0) != 500 {
+		t.Error("elephant half aliases the input")
+	}
+}
+
 func TestScheduleValidation(t *testing.T) {
 	d := mustMatrix(t, [][]int64{{1}})
 	for _, cfg := range []Config{

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
+	"time"
 )
 
 // WritePrometheus renders every registered metric in the Prometheus text
@@ -124,16 +126,14 @@ type histogramJSON struct {
 	P99   float64 `json:"p99"`
 }
 
-// WriteJSON renders every registered metric as a single expvar-style JSON
-// object keyed by series id: counters and gauges as numbers, histograms as
-// {count, sum, p50, p95, p99} objects. Keys are emitted sorted (the
-// encoding/json map behavior), so output is stable for tests and diffing.
-func (r *Registry) WriteJSON(w io.Writer) error {
-	if r == nil {
-		_, err := io.WriteString(w, "{}\n")
-		return err
-	}
+// snapshotJSON collects every registered metric into the expvar-style map
+// WriteJSON and FlushEvery serialize: counters and gauges as numbers,
+// histograms as {count, sum, p50, p95, p99} objects.
+func (r *Registry) snapshotJSON() map[string]any {
 	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
 	for _, id := range r.ids() {
 		v, ok := r.metrics.Load(id)
 		if !ok {
@@ -151,9 +151,76 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			}
 		}
 	}
+	return out
+}
+
+// WriteJSON renders every registered metric as a single expvar-style JSON
+// object keyed by series id: counters and gauges as numbers, histograms as
+// {count, sum, p50, p95, p99} objects. Keys are emitted sorted (the
+// encoding/json map behavior), so output is stable for tests and diffing.
+func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(r.snapshotJSON())
+}
+
+// FlushEvery starts a background goroutine that writes one compact
+// (single-line) JSON snapshot of the registry to w every interval — a push
+// exporter for long runs that should be monitorable without an HTTP
+// endpoint to scrape (`tail -f` of the snapshot stream). The returned stop
+// function writes one final snapshot, waits for the goroutine to exit, and
+// is idempotent. Write errors are ignored: monitoring must never abort the
+// run it observes. A nil registry emits empty {} snapshots; intervals ≤ 0
+// flush only on stop.
+func (r *Registry) FlushEvery(w io.Writer, interval time.Duration) (stop func()) {
+	return flushEvery(func() *Registry { return r }, w, interval)
+}
+
+// FlushEvery is the package-level push exporter over the process-global
+// sink: each snapshot reads the registry attached at that moment (empty
+// when detached), so one exporter can span attach/detach cycles. See
+// Registry.FlushEvery for semantics.
+func FlushEvery(w io.Writer, interval time.Duration) (stop func()) {
+	return flushEvery(func() *Registry {
+		if s := Current(); s != nil {
+			return s.Metrics
+		}
+		return nil
+	}, w, interval)
+}
+
+func flushEvery(reg func() *Registry, w io.Writer, interval time.Duration) (stop func()) {
+	flush := func() {
+		enc := json.NewEncoder(w) // no indent: one snapshot per line
+		_ = enc.Encode(reg().snapshotJSON())
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		if interval <= 0 {
+			<-done
+			return
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				flush()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-exited
+			flush()
+		})
+	}
 }
 
 // PromHandler serves WritePrometheus over HTTP (GET only).

@@ -66,7 +66,9 @@ func (kr KResult) summary() Result {
 // ExecK plays one circuit schedule per core against that core's share of a
 // demand split (as produced by topology.SplitGreedy or SplitRoundRobin),
 // honoring each core's bandwidth and reconfiguration delay. Cores run in
-// parallel from tick 0; the fabric CCT is the slowest core's CCT.
+// parallel from tick 0; the fabric CCT is the slowest core's CCT. Each core
+// is one fabric.Circuit at its own bandwidth (via ExecAllStopRate), so the
+// K-core path shares the drain loop of every other executor.
 //
 // At K = 1 with a unit-bandwidth core, PerCore[0] is byte-identical to
 // ExecAllStop(split[0], ks[0], delta) — the degenerate fabric is the paper's

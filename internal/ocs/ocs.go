@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"reco/internal/fabric"
 	"reco/internal/matrix"
 	"reco/internal/schedule"
 )
@@ -91,60 +92,10 @@ type Result struct {
 	Flows schedule.FlowSchedule
 }
 
-// maxRemaining returns the longest remaining demand among perm's circuits.
-func maxRemaining(rem *matrix.Matrix, perm []int) int64 {
-	var max int64
-	for i, j := range perm {
-		if j == -1 {
-			continue
-		}
-		if r := rem.At(i, j); r > max {
-			max = r
-		}
-	}
-	return max
-}
-
-// drainWindow transmits every active circuit of perm from startOf(i, j) until
-// windowEnd at bandwidth bw units per tick, decrementing rem and appending one
-// flow interval (coflow 0) per circuit that moved data. It returns the total
-// demand moved, so executors can keep a running unserved total instead of
-// rescanning the dense residual for completeness. It is the single drain loop
-// behind every executor in this package; bw = 1 reproduces the paper's
-// unit-bandwidth semantics exactly.
-func drainWindow(rem *matrix.Matrix, perm []int, startOf func(i, j int) int64, windowEnd, bw int64, flows *schedule.FlowSchedule) int64 {
-	var sent int64
-	for i, j := range perm {
-		if j == -1 {
-			continue
-		}
-		r := rem.At(i, j)
-		if r == 0 {
-			continue
-		}
-		start := startOf(i, j)
-		span := windowEnd - start
-		if span <= 0 {
-			continue
-		}
-		send := span * bw
-		if r < send {
-			send = r
-		}
-		rem.Set(i, j, r-send)
-		sent += send
-		res := schedule.FlowInterval{
-			Start: start, End: start + ceilDiv(send, bw), In: i, Out: j, Coflow: 0,
-		}
-		*flows = append(*flows, res)
-	}
-	return sent
-}
-
-// ceilDiv returns ⌈a/b⌉ for non-negative a and positive b.
-func ceilDiv(a, b int64) int64 {
-	return (a + b - 1) / b
-}
+// The executors in this package share one drain loop: fabric.Circuit's
+// Transmit, with MaxRemaining supplying each establishment's natural end.
+// bw = 1 reproduces the paper's unit-bandwidth semantics exactly; the
+// K-core executors (ExecK) run one Circuit fabric per core.
 
 // ExecAllStop plays the circuit schedule cs against demand d under the
 // all-stop model: every reconfiguration halts the whole switch for delta.
@@ -179,21 +130,22 @@ func ExecAllStopRate(d *matrix.Matrix, cs CircuitSchedule, delta, bw int64) (Res
 	}
 	rem := d.Clone()
 	left := d.Total() // maintained incrementally; the dense residual is never rescanned
+	fab := fabric.NewCircuit(n, bw)
 	var res Result
 	var now int64
 	for _, a := range cs {
-		maxRem := maxRemaining(rem, a.Perm)
+		fab.Establish(a.Perm)
+		maxRem := fab.MaxRemaining(rem)
 		if maxRem == 0 {
 			continue // nothing to send: skip without reconfiguring
 		}
 		now += delta
 		res.Reconfigs++
 		active := a.Dur
-		if t := ceilDiv(maxRem, bw); t < active {
+		if t := fabric.CeilDiv(maxRem, bw); t < active {
 			active = t
 		}
-		start := func(int, int) int64 { return now }
-		left -= drainWindow(rem, a.Perm, start, now+active, bw, &res.Flows)
+		left -= fab.Transmit(rem, now, now+active, &res.Flows)
 		now += active
 		if left == 0 {
 			break // demand exhausted: trailing assignments would all be skipped
@@ -223,6 +175,7 @@ func ExecNotAllStop(d *matrix.Matrix, cs CircuitSchedule, delta int64) (Result, 
 	}
 	rem := d.Clone()
 	left := d.Total()
+	fab := fabric.NewCircuit(n, 1)
 	var res Result
 	var now int64
 	prev := make([]int, n)
@@ -230,7 +183,8 @@ func ExecNotAllStop(d *matrix.Matrix, cs CircuitSchedule, delta int64) (Result, 
 		prev[i] = -1
 	}
 	for _, a := range cs {
-		if maxRemaining(rem, a.Perm) == 0 {
+		fab.Establish(a.Perm)
+		if fab.MaxRemaining(rem) == 0 {
 			continue
 		}
 		anyChanged := false
@@ -258,6 +212,7 @@ func ExecNotAllStop(d *matrix.Matrix, cs CircuitSchedule, delta int64) (Result, 
 			}
 			return now + lag
 		}
+		fab.EstablishStaggered(a.Perm, startOf)
 		var maxFinish int64
 		for i, j := range a.Perm {
 			if j == -1 {
@@ -275,7 +230,7 @@ func ExecNotAllStop(d *matrix.Matrix, cs CircuitSchedule, delta int64) (Result, 
 		if maxFinish < windowEnd {
 			windowEnd = maxFinish
 		}
-		left -= drainWindow(rem, a.Perm, startOf, windowEnd, 1, &res.Flows)
+		left -= fab.Transmit(rem, now, windowEnd, &res.Flows)
 		now = windowEnd
 		copy(prev, a.Perm)
 		if left == 0 {

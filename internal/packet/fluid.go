@@ -3,6 +3,7 @@ package packet
 import (
 	"fmt"
 
+	"reco/internal/fabric"
 	"reco/internal/matrix"
 )
 
@@ -17,7 +18,9 @@ import (
 // sequential prefix — but the first coflow's ρ is a universal lower bound.
 //
 // Because the model is fluid there is no flow-level schedule to return,
-// only completion times.
+// only completion times. The capacity model is fabric.Electrical at the
+// full unit rate (num = den = 1): each coflow's service time is the
+// fabric's DrainTime, its bottleneck ρ.
 func FluidCCTs(ds []*matrix.Matrix, order []int) ([]int64, error) {
 	if len(ds) == 0 {
 		return nil, fmt.Errorf("packet: no coflows")
@@ -33,13 +36,17 @@ func FluidCCTs(ds []*matrix.Matrix, order []int) ([]int64, error) {
 		seen[k] = true
 	}
 	n := ds[0].N()
+	el, err := fabric.NewElectrical(n, 1, 1)
+	if err != nil {
+		return nil, fmt.Errorf("packet: %w", err)
+	}
 	ccts := make([]int64, len(ds))
 	var now int64
 	for _, k := range order {
 		if ds[k].N() != n {
 			return nil, fmt.Errorf("packet: coflow %d has dimension %d, want %d", k, ds[k].N(), n)
 		}
-		now += ds[k].MaxRowColSum()
+		now += el.DrainTime(ds[k])
 		ccts[k] = now
 	}
 	return ccts, nil

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 
+	"reco/internal/fabric"
 	"reco/internal/faults"
 	"reco/internal/matrix"
 	"reco/internal/obs"
@@ -222,6 +223,7 @@ func RunFaults(d *matrix.Matrix, ctrl Controller, delta int64, fs *faults.Schedu
 		return nil, fmt.Errorf("%w: %v", ErrController, err)
 	}
 	rem := d.Clone()
+	fab := fabric.NewCircuit(n, 1)
 	res := &Result{}
 	var now int64
 
@@ -357,19 +359,11 @@ func RunFaults(d *matrix.Matrix, ctrl Controller, delta int64, fs *faults.Schedu
 
 		// Active circuits and the establishment's natural end, over circuits
 		// whose ports are up; dead circuits carry nothing and do not extend
-		// the window.
-		var maxRem int64
-		for i, j := range dec.Perm {
-			if j == -1 {
-				continue
-			}
-			if down != nil && (down[i] || down[j]) {
-				continue
-			}
-			if r := rem.At(i, j); r > maxRem {
-				maxRem = r
-			}
-		}
+		// the window. The fabric sees the live down mask (applyEvents
+		// mutates it in place between windows).
+		fab.SetPortsDown(down)
+		fab.Establish(dec.Perm)
+		maxRem := fab.MaxRemaining(rem)
 		if maxRem == 0 {
 			// Every circuit with demand is on a failed port (only reachable
 			// under faults): the delay is burned and the switch idles.
@@ -395,28 +389,7 @@ func RunFaults(d *matrix.Matrix, ctrl Controller, delta int64, fs *faults.Schedu
 				interrupted = true
 			}
 		}
-		span := end - now
-		for i, j := range dec.Perm {
-			if j == -1 {
-				continue
-			}
-			if down != nil && (down[i] || down[j]) {
-				continue
-			}
-			r := rem.At(i, j)
-			if r == 0 {
-				continue
-			}
-			send := span
-			if r < send {
-				send = r
-			}
-			rem.Set(i, j, r-send)
-			drained += send
-			res.Flows = append(res.Flows, schedule.FlowInterval{
-				Start: now, End: now + send, In: i, Out: j, Coflow: 0,
-			})
-		}
+		drained += fab.Transmit(rem, now, end, &res.Flows)
 		now = end
 		res.Log = append(res.Log, Trace{
 			Start: start, Up: start + dEff, Down: now,
